@@ -1,0 +1,272 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation on the simulated machine and renders them as aligned
+// text tables (optionally CSV).
+//
+// Usage:
+//
+//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"busaware"
+	"busaware/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which artifact to regenerate: all, cal, hit, 1a, 1b, 2a, 2b, 2c, ablw, ablq, ovh, zoo, sampling, robust, servers, smt")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	app := flag.String("app", "BT", "application for the scheduler-zoo comparison")
+	flag.Parse()
+
+	opt := busaware.ExperimentOptions{}
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	run := map[string]func() error{
+		"cal": func() error { return calibration(opt, emit) },
+		"hit": func() error { return hitRates(emit) },
+		"1a":  func() error { return figure1(opt, emit, true) },
+		"1b":  func() error { return figure1(opt, emit, false) },
+		"2a": func() error {
+			rows, err := busaware.Figure2A(opt)
+			return figure2("Figure 2A: 2 apps + 4 BBMA (improvement % over Linux)", rows, err, emit)
+		},
+		"2b": func() error {
+			rows, err := busaware.Figure2B(opt)
+			return figure2("Figure 2B: 2 apps + 4 nBBMA (improvement % over Linux)", rows, err, emit)
+		},
+		"2c": func() error {
+			rows, err := busaware.Figure2C(opt)
+			return figure2("Figure 2C: 2 apps + 2 BBMA + 2 nBBMA (improvement % over Linux)", rows, err, emit)
+		},
+		"ablw":     func() error { return windowAblation(opt, emit) },
+		"ablq":     func() error { return quantumAblation(opt, emit) },
+		"ovh":      func() error { return overhead(opt, emit) },
+		"zoo":      func() error { return zoo(opt, *app, emit) },
+		"sampling": func() error { return sampling(opt, emit) },
+		"robust":   func() error { return robustness(opt, emit) },
+		"servers":  func() error { return servers(opt, emit) },
+		"smt":      func() error { return smt(opt, emit) },
+	}
+	order := []string{"cal", "hit", "1a", "1b", "2a", "2b", "2c", "ablw", "ablq", "ovh", "zoo", "sampling", "robust", "servers", "smt"}
+
+	which := strings.ToLower(*fig)
+	if which == "all" {
+		for _, k := range order {
+			if err := run[k](); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	f, ok := run[which]
+	if !ok {
+		fatal(fmt.Errorf("unknown figure %q (want one of: all %s)", which, strings.Join(order, " ")))
+	}
+	if err := f(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+func calibration(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	cal, err := busaware.Calibrate(opt)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Calibration (paper Section 3: STREAM on 4 processors)",
+		"Quantity", "Simulated", "Paper")
+	t.AddRowf("Sustained rate (trans/us)", float64(cal.SustainedRate), "29.5")
+	t.AddRowf("Sustained bandwidth (MB/s)", cal.SustainedMBps, "1797")
+	t.AddRowf("Bytes per transaction", fmt.Sprint(cal.BytesPerTransaction), "~64")
+	t.AddRowf("Nominal peak (MB/s)", cal.PeakMBps, "3200")
+	emit(t)
+	return nil
+}
+
+func hitRates(emit func(*report.Table)) error {
+	rows, err := busaware.MicrobenchmarkHitRates()
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Microbenchmark cache behaviour (derived via L2 simulator; paper: BBMA ~0%, nBBMA ~100%)",
+		"Pattern", "Refs", "HitRate", "BusTrans/Ref")
+	for _, r := range rows {
+		t.AddRowf(r.Name, fmt.Sprint(r.Refs), fmt.Sprintf("%.4f", r.HitRate), fmt.Sprintf("%.4f", r.BusTransPerRef))
+	}
+	emit(t)
+	return nil
+}
+
+func figure1(opt busaware.ExperimentOptions, emit func(*report.Table), panelA bool) error {
+	rows, err := busaware.Figure1(opt)
+	if err != nil {
+		return err
+	}
+	if panelA {
+		t := report.NewTable("Figure 1A: cumulative bus transactions/usec (black, dark gray, light gray, striped bars)",
+			"App", "Solo", "2 Apps", "App+2BBMA", "App+2nBBMA")
+		for _, r := range rows {
+			t.AddRowf(r.App, float64(r.SoloRate), float64(r.TwoAppsRate),
+				float64(r.WithBBMARate), float64(r.WithNBBMARate))
+		}
+		emit(t)
+		return nil
+	}
+	t := report.NewTable("Figure 1B: slowdown vs solo execution",
+		"App", "2 Apps", "App+2BBMA", "App+2nBBMA")
+	for _, r := range rows {
+		t.AddRowf(r.App, r.TwoAppsSlowdown, r.WithBBMASlowdown, r.WithNBBMASlowdown)
+	}
+	emit(t)
+	return nil
+}
+
+func figure2(title string, rows []busaware.Fig2Row, err error, emit func(*report.Table)) error {
+	return errFirst(err, func() error {
+		t := report.NewTable(title,
+			"App", "Linux(s)", "LQ(s)", "QW(s)", "LQ impr %", "QW impr %")
+		for _, r := range rows {
+			t.AddRowf(r.App,
+				r.LinuxTurnaround.Seconds(), r.LQTurnaround.Seconds(), r.QWTurnaround.Seconds(),
+				r.LQImprovement, r.QWImprovement)
+		}
+		emit(t)
+		return nil
+	})
+}
+
+func errFirst(err error, then func() error) error {
+	if err != nil {
+		return err
+	}
+	return then()
+}
+
+func windowAblation(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	rows, err := busaware.AblateWindow(opt, nil)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Window-length ablation on Raytrace (paper picks W=5)",
+		"W", "TrackDist", "EstStdDev", "Raytrace impr %")
+	for _, r := range rows {
+		t.AddRowf(fmt.Sprint(r.Window), fmt.Sprintf("%.3f", r.TrackingDistance),
+			r.EstimateStdDev, r.RaytraceImprovement)
+	}
+	emit(t)
+	return nil
+}
+
+func quantumAblation(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	rows, err := busaware.AblateQuantum(opt, nil)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Quantum ablation on BT mixed set (paper settles on 200ms)",
+		"Quantum", "CtxSw/s", "Migr/s", "Impr %")
+	for _, r := range rows {
+		t.AddRowf(r.Quantum.String(), r.ContextSwitchesPerSec, r.MigrationsPerSec, r.Improvement)
+	}
+	emit(t)
+	return nil
+}
+
+func overhead(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	res, err := busaware.MeasureManagerOverhead(opt)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("CPU-manager overhead, worst case (paper: <= 4.5%)",
+		"Variant", "Mean turnaround", "Overhead %")
+	t.AddRowf("unmanaged", res.BaselineTurnaround.String(), "-")
+	t.AddRowf("managed", res.ManagedTurnaround.String(), res.OverheadPercent)
+	emit(t)
+	return nil
+}
+
+func zoo(opt busaware.ExperimentOptions, app string, emit func(*report.Table)) error {
+	rows, err := busaware.CompareSchedulers(opt, app)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Scheduler comparison on %s + 2 BBMA + 2 nBBMA", app),
+		"Scheduler", "Mean turnaround", "Impr vs Linux %")
+	for _, r := range rows {
+		t.AddRowf(r.Scheduler, r.MeanTurnaround.String(), r.ImprovementVsLinux)
+	}
+	emit(t)
+	return nil
+}
+
+func robustness(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	res, err := busaware.MeasureRobustness(opt, 20, 1)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Random-workload robustness (20 seeded mixes, improvement % over Linux)",
+		"Policy", "Wins", "Mean", "Median", "Min", "Max")
+	t.AddRowf("LatestQuantum", fmt.Sprintf("%d/%d", res.LQWins, res.Workloads),
+		res.LQ.Mean, res.LQ.Median, res.LQ.Min, res.LQ.Max)
+	t.AddRowf("QuantaWindow", fmt.Sprintf("%d/%d", res.QWWins, res.Workloads),
+		res.QW.Mean, res.QW.Median, res.QW.Min, res.QW.Max)
+	emit(t)
+	return nil
+}
+
+func servers(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	rows, err := busaware.RunServerWorkloads(opt)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Server workloads on the mixed set (paper future work, implemented)",
+		"App", "Linux(s)", "LQ(s)", "QW(s)", "LQ impr %", "QW impr %")
+	for _, r := range rows {
+		t.AddRowf(r.App, r.LinuxTurnaround.Seconds(), r.LQTurnaround.Seconds(),
+			r.QWTurnaround.Seconds(), r.LQImprovement, r.QWImprovement)
+	}
+	emit(t)
+	return nil
+}
+
+func smt(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	rows, err := busaware.RunSMTStudy(opt)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Hyperthreading study: 4 CPUs vs 8 logical on 4 cores, BT mixed workload (per-work speedup)",
+		"Policy", "SMT off", "SMT on (2x work)", "Speedup %")
+	for _, r := range rows {
+		t.AddRowf(r.Policy, r.SMTOff.String(), r.SMTOn.String(), r.SpeedupPercent)
+	}
+	emit(t)
+	return nil
+}
+
+func sampling(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	rows, err := busaware.AblateSampling(opt, nil)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Estimator-input ablation on the saturated set (QW improvement % over Linux)",
+		"App", "Requirements", "Consumption", "SaturationGuard")
+	for _, r := range rows {
+		t.AddRowf(r.App, r.RequirementsImprovement, r.ConsumptionImprovement, r.GuardedImprovement)
+	}
+	emit(t)
+	return nil
+}

@@ -1,0 +1,137 @@
+// Command smpsim runs an arbitrary multiprogrammed workload on the
+// simulated SMP under a chosen scheduling policy and prints
+// per-application turnarounds plus machine-wide statistics.
+//
+// Usage:
+//
+//	smpsim -policy window -apps "CG x2, BBMA x4"
+//	smpsim -policy linux -seed 7 -apps "Raytrace x2, nBBMA x4" -v
+//
+// The -apps grammar is a comma-separated list of "<name> [xN]" items;
+// names come from the registry (the eleven paper applications, BBMA,
+// nBBMA, STREAM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"busaware"
+	"busaware/internal/report"
+)
+
+func main() {
+	policy := flag.String("policy", busaware.PolicyQuantaWindow,
+		fmt.Sprintf("scheduling policy: %s", strings.Join(busaware.Policies(), ", ")))
+	appsSpec := flag.String("apps", "CG x2, BBMA x4", "workload: comma-separated '<name> [xN]' items")
+	seed := flag.Int64("seed", 1, "seed for the Linux baseline's runqueue shuffling")
+	cpus := flag.Int("cpus", 0, "override processor count (0 = paper machine's 4)")
+	verbose := flag.Bool("v", false, "print machine-wide statistics")
+	timeline := flag.Bool("timeline", false, "print an ASCII schedule timeline")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing)")
+	flag.Parse()
+
+	apps, err := parseApps(*appsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	m := busaware.PaperMachine()
+	if *cpus > 0 {
+		m.NumCPUs = *cpus
+	}
+	s, err := busaware.NewScheduler(*policy, m, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	var res busaware.Result
+	var tl *busaware.Timeline
+	if *timeline || *traceOut != "" {
+		res, tl, err = busaware.RunTraced(m, s, apps)
+	} else {
+		res, err = busaware.Run(m, s, apps)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if res.TimedOut {
+		fmt.Fprintln(os.Stderr, "smpsim: warning: run hit the simulation time cap before completing")
+	}
+
+	t := report.NewTable(fmt.Sprintf("Workload under %s", res.Scheduler),
+		"Instance", "Profile", "Turnaround", "Slowdown", "MeanRate(trans/us)")
+	for _, a := range res.Apps {
+		t.AddRowf(a.Instance, a.Profile, a.Turnaround.String(),
+			a.Slowdown, float64(a.MeanBusRate))
+	}
+	fmt.Println(t.String())
+
+	if tl != nil && *timeline {
+		fmt.Println(tl.Text())
+	}
+	if tl != nil && *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tl.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s\n", *traceOut)
+	}
+	if *verbose {
+		v := report.NewTable("Machine statistics", "Metric", "Value")
+		v.AddRowf("Simulated time", res.EndTime.String())
+		v.AddRowf("Quanta", fmt.Sprint(res.Quanta))
+		v.AddRowf("Migrations", fmt.Sprint(res.Migrations))
+		v.AddRowf("Context switches", fmt.Sprint(res.ContextSwitches))
+		v.AddRowf("Mean bus utilization", res.MeanBusUtilization)
+		v.AddRowf("Mean turnaround", res.MeanTurnaround().String())
+		fmt.Println(v.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smpsim:", err)
+	os.Exit(1)
+}
+
+// parseApps expands "CG x2, BBMA x4" into application instances.
+func parseApps(spec string) ([]*busaware.App, error) {
+	var apps []*busaware.App
+	counts := map[string]int{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name := item
+		n := 1
+		if i := strings.LastIndex(item, " x"); i >= 0 {
+			parsed, err := strconv.Atoi(strings.TrimSpace(item[i+2:]))
+			if err != nil || parsed < 1 {
+				return nil, fmt.Errorf("bad multiplicity in %q", item)
+			}
+			name = strings.TrimSpace(item[:i])
+			n = parsed
+		}
+		p, ok := busaware.AppByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown application %q", name)
+		}
+		for i := 0; i < n; i++ {
+			counts[name]++
+			apps = append(apps, busaware.NewInstance(p, fmt.Sprintf("%s#%d", name, counts[name])))
+		}
+	}
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("empty workload %q", spec)
+	}
+	return apps, nil
+}

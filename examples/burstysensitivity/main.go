@@ -1,0 +1,45 @@
+// Burstysensitivity reproduces the paper's stability finding around
+// Raytrace: an application with a highly irregular bus-transaction
+// pattern destabilizes the Latest Quantum policy (its latest sample is
+// a poor predictor of the next quantum), while Quanta Window's moving
+// average smooths the bursts.
+//
+// The example prints the window-length tradeoff the paper used to pick
+// W = 5 — tracking distance versus estimate stability — and then the
+// end-to-end turnaround of the Raytrace + 4 nBBMA workload for window
+// lengths 1 (Latest Quantum) through 12.
+//
+//	go run ./examples/burstysensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"busaware"
+	"busaware/internal/report"
+)
+
+func main() {
+	rows, err := busaware.AblateWindow(busaware.ExperimentOptions{}, []int{1, 2, 3, 5, 8, 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("Window length vs Raytrace's irregular pattern (paper picks W = 5)",
+		"W", "Tracking distance", "Estimate stddev", "Raytrace improvement %")
+	for _, r := range rows {
+		t.AddRowf(fmt.Sprint(r.Window), fmt.Sprintf("%.3f", r.TrackingDistance),
+			r.EstimateStdDev, r.RaytraceImprovement)
+	}
+	fmt.Println(t.String())
+
+	chart := report.NewBarChart("Estimate stability (lower stddev = smoother policy input)", "trans/us")
+	for _, r := range rows {
+		chart.Add(fmt.Sprintf("W=%-2d", r.Window), r.EstimateStdDev)
+	}
+	fmt.Println(chart.String())
+	fmt.Println("W=1 is the Latest Quantum policy: it tracks the pattern exactly but")
+	fmt.Println("reacts to every burst; widening the window trades responsiveness for")
+	fmt.Println("stability, which is why the paper's Quanta Window uses 5 samples.")
+}

@@ -1,0 +1,70 @@
+// Capacityplanning answers the operator question the paper's
+// introduction motivates: how many bus-hungry background jobs can this
+// SMP host before a latency-sensitive application degrades beyond an
+// SLO — and how much more headroom does a bandwidth-aware scheduler
+// buy compared to the stock scheduler?
+//
+// The example sweeps the number of BBMA-class background jobs from 0
+// to 6 around one Database instance and reports the application's
+// slowdown under Linux and under Quanta Window, marking where each
+// crosses a 2.5x slowdown SLO.
+//
+//	go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"busaware"
+	"busaware/internal/report"
+)
+
+const slo = 2.5 // maximum tolerable slowdown
+
+func main() {
+	db, ok := busaware.AppByName("Database")
+	if !ok {
+		log.Fatal("Database not in the registry")
+	}
+	bbma, _ := busaware.AppByName("BBMA")
+
+	t := report.NewTable("Database slowdown vs number of BBMA-class background jobs (SLO: 2.5x)",
+		"Background", "Linux", "QuantaWindow", "Linux SLO", "QW SLO")
+	linuxCap, qwCap := -1, -1
+	for n := 0; n <= 6; n++ {
+		build := func() []*busaware.App {
+			apps := busaware.Instances(db, 1)
+			return append(apps, busaware.Instances(bbma, n)...)
+		}
+		lin, err := busaware.RunPolicy(busaware.PolicyLinux, build())
+		if err != nil {
+			log.Fatal(err)
+		}
+		qw, err := busaware.RunPolicy(busaware.PolicyQuantaWindow, build())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ls, qs := lin.Apps[0].Slowdown, qw.Apps[0].Slowdown
+		okMark := func(s float64) string {
+			if s <= slo {
+				return "ok"
+			}
+			return "VIOLATED"
+		}
+		if ls <= slo {
+			linuxCap = n
+		}
+		if qs <= slo {
+			qwCap = n
+		}
+		t.AddRowf(fmt.Sprint(n), ls, qs, okMark(ls), okMark(qs))
+	}
+	fmt.Println(t.String())
+	fmt.Printf("capacity at 2.5x SLO: Linux hosts %d background jobs, QuantaWindow hosts %d\n",
+		linuxCap, qwCap)
+	if qwCap > linuxCap {
+		fmt.Printf("bandwidth-aware scheduling buys %d extra background slots on the same hardware\n",
+			qwCap-linuxCap)
+	}
+}

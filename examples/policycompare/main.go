@@ -1,0 +1,55 @@
+// Policycompare sweeps the full scheduler lineup — Linux 2.4, naive
+// round-robin, bandwidth-oblivious gang, Latest Quantum, Quanta
+// Window, the EWMA variant and the clairvoyant oracle — over several
+// multiprogramming degrees, charting how each policy's advantage grows
+// as the bus gets more crowded.
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"busaware"
+	"busaware/internal/report"
+)
+
+func main() {
+	bt, ok := busaware.AppByName("BT")
+	if !ok {
+		log.Fatal("BT not in the registry")
+	}
+	bbma, _ := busaware.AppByName("BBMA")
+	nbbma, _ := busaware.AppByName("nBBMA")
+
+	// Multiprogramming degree sweep: 1x, 2x and 3x the paper's load.
+	for _, mpl := range []int{1, 2, 3} {
+		build := func() []*busaware.App {
+			apps := busaware.Instances(bt, mpl)
+			apps = append(apps, busaware.Instances(bbma, mpl)...)
+			apps = append(apps, busaware.Instances(nbbma, mpl)...)
+			return apps
+		}
+		chart := report.NewBarChart(
+			fmt.Sprintf("\nImprovement over Linux, %dx BT + %dx BBMA + %dx nBBMA", mpl, mpl, mpl), "%")
+
+		linux, err := busaware.RunPolicy(busaware.PolicyLinux, build())
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := float64(linux.MeanTurnaround())
+		for _, policy := range []string{
+			busaware.PolicyRoundRobin, busaware.PolicyGang,
+			busaware.PolicyLatestQuantum, busaware.PolicyQuantaWindow,
+			busaware.PolicyEWMA, busaware.PolicyOracle,
+		} {
+			res, err := busaware.RunPolicy(policy, build())
+			if err != nil {
+				log.Fatal(err)
+			}
+			chart.Add(res.Scheduler, (base-float64(res.MeanTurnaround()))/base*100)
+		}
+		fmt.Println(chart.String())
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: run the paper's headline experiment in ~20 lines.
+//
+// Two instances of CG (the most bandwidth-hungry NAS kernel) compete
+// with four copies of the BBMA bus-saturating microbenchmark on the
+// simulated 4-way Xeon SMP, first under the Linux 2.4 baseline and
+// then under the paper's Quanta Window policy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"busaware"
+)
+
+func main() {
+	cg, ok := busaware.AppByName("CG")
+	if !ok {
+		log.Fatal("CG not in the registry")
+	}
+	bbma, _ := busaware.AppByName("BBMA")
+
+	workload := func() []*busaware.App {
+		apps := busaware.Instances(cg, 2)
+		return append(apps, busaware.Instances(bbma, 4)...)
+	}
+
+	linux, err := busaware.RunPolicy(busaware.PolicyLinux, workload())
+	if err != nil {
+		log.Fatal(err)
+	}
+	window, err := busaware.RunPolicy(busaware.PolicyQuantaWindow, workload())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: 2x CG + 4x BBMA on the simulated 4-way Xeon\n\n")
+	fmt.Printf("Linux 2.4 baseline: mean CG turnaround %v\n", linux.MeanTurnaround())
+	fmt.Printf("Quanta Window:      mean CG turnaround %v\n", window.MeanTurnaround())
+	imp := float64(linux.MeanTurnaround()-window.MeanTurnaround()) /
+		float64(linux.MeanTurnaround()) * 100
+	fmt.Printf("improvement:        %.1f%%\n", imp)
+}

@@ -1,0 +1,3 @@
+module busaware
+
+go 1.22

@@ -1,0 +1,63 @@
+package cache
+
+import "busaware/internal/units"
+
+// Analytic working-set model used by the machine simulator for the
+// paper's applications, where we have calibrated hit rates rather than
+// address traces. It answers two questions the scheduler experiments
+// depend on:
+//
+//  1. How many extra bus transactions does a migrated thread pay to
+//     rebuild its working set on a cold cache? (The paper attributes
+//     LU CB's and Water-nsqr's outsized slowdowns to exactly this.)
+//  2. How does a thread's steady-state bus demand split into capacity
+//     traffic versus refill bursts?
+
+// WorkingSet describes a thread's steady-state cache footprint.
+type WorkingSet struct {
+	// Bytes is the resident footprint the thread builds in a warm L2.
+	Bytes units.Bytes
+	// HitRate is the steady-state L2 hit rate once warm (0..1).
+	HitRate float64
+	// DirtyFrac is the fraction of resident lines that are dirty and
+	// must be written back when the working set is evicted.
+	DirtyFrac float64
+}
+
+// RefillTransactions returns the bus transactions needed to rebuild the
+// working set from memory after a migration: one fill per line, plus
+// writebacks of the dirty fraction from the old cache.
+func (ws WorkingSet) RefillTransactions(lineSize units.Bytes) uint64 {
+	if lineSize <= 0 || ws.Bytes <= 0 {
+		return 0
+	}
+	lines := uint64((ws.Bytes + lineSize - 1) / lineSize)
+	wb := uint64(float64(lines) * clamp01(ws.DirtyFrac))
+	return lines + wb
+}
+
+// WarmupRefs estimates how many references it takes to rebuild the
+// working set, assuming each miss installs one line and the warm hit
+// rate applies to the remainder. Used to convert a refill burst into a
+// transient duration at a given reference rate.
+func (ws WorkingSet) WarmupRefs(lineSize units.Bytes) uint64 {
+	if lineSize <= 0 || ws.Bytes <= 0 {
+		return 0
+	}
+	lines := uint64((ws.Bytes + lineSize - 1) / lineSize)
+	miss := 1 - clamp01(ws.HitRate)
+	if miss < 0.01 {
+		miss = 0.01 // even a 100%-hit thread must touch each line once
+	}
+	return uint64(float64(lines) / miss)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,67 @@
+package cpumanager
+
+import (
+	"sync"
+
+	"busaware/internal/units"
+)
+
+// Arena is the shared memory page the manager creates per connected
+// application: "a shared memory page which is used as its primary
+// communication medium with the application". The application's
+// run-time library accumulates the performance counters of all its
+// threads and writes the cumulative bus transaction rate here, twice
+// per scheduling quantum; the manager reads it when it runs its
+// policy.
+//
+// In-process, the page is a mutex-guarded struct; the epoch counter
+// lets the manager detect stale data (an application that missed its
+// update slot, e.g. because it was blocked).
+type Arena struct {
+	mu sync.Mutex
+
+	// updatePeriod is how often the application is expected to refresh
+	// the rate; the manager announces it at connection time (half the
+	// scheduling quantum: two samples per quantum).
+	updatePeriod units.Time
+
+	rate    units.Rate // cumulative trans/usec across the app's threads
+	epoch   uint64     // bumped on every write
+	written units.Time // simulated timestamp of the last write
+}
+
+// NewArena builds a page with the given expected update period.
+func NewArena(updatePeriod units.Time) *Arena {
+	return &Arena{updatePeriod: updatePeriod}
+}
+
+// UpdatePeriod returns how often the application must publish.
+func (a *Arena) UpdatePeriod() units.Time { return a.updatePeriod }
+
+// Publish writes the application's cumulative bus transaction rate.
+// The application side calls this from its sampling hook.
+func (a *Arena) Publish(rate units.Rate, now units.Time) {
+	a.mu.Lock()
+	a.rate = rate
+	a.epoch++
+	a.written = now
+	a.mu.Unlock()
+}
+
+// Read returns the current rate, its epoch, and when it was written.
+func (a *Arena) Read() (rate units.Rate, epoch uint64, written units.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rate, a.epoch, a.written
+}
+
+// FreshAt reports whether the page was updated within two update
+// periods of now — the manager's staleness criterion.
+func (a *Arena) FreshAt(now units.Time) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.epoch == 0 {
+		return false
+	}
+	return now-a.written <= 2*a.updatePeriod
+}

@@ -1,0 +1,108 @@
+package cpumanager
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+
+	"busaware/internal/units"
+)
+
+// Client is the application side of the protocol — the paper's
+// "run-time library which accompanies the CPU manager" and "offers all
+// the necessary functionality for the cooperation between the CPU
+// manager and applications". The only source modifications a real
+// application needed were connect/disconnect calls and interception of
+// thread creation and destruction; Client exposes exactly those.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+
+	sessionID    uint64
+	updatePeriod units.Time
+	quantum      units.Time
+}
+
+// Connect performs the handshake over an established connection.
+func Connect(conn net.Conn, instance string, threads int) (*Client, error) {
+	c := &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(conn),
+	}
+	resp, err := c.roundTrip(Request{Op: OpConnect, Instance: instance, Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+	c.sessionID = resp.Session
+	c.updatePeriod = units.Time(resp.UpdatePeriodUs)
+	c.quantum = units.Time(resp.QuantumUs)
+	return c, nil
+}
+
+// Dial connects to the manager's listener address and performs the
+// handshake.
+func Dial(network, addr, instance string, threads int) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Connect(conn, instance, threads)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("cpumanager: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// SessionID returns the identifier assigned by the manager.
+func (c *Client) SessionID() uint64 { return c.sessionID }
+
+// UpdatePeriod returns how often the application must publish its bus
+// transaction rate (half the manager's quantum).
+func (c *Client) UpdatePeriod() units.Time { return c.updatePeriod }
+
+// Quantum returns the manager's scheduling quantum.
+func (c *Client) Quantum() units.Time { return c.quantum }
+
+// ThreadCreated reports an intercepted thread creation.
+func (c *Client) ThreadCreated() error {
+	_, err := c.roundTrip(Request{Op: OpThreadCreate})
+	return err
+}
+
+// ThreadDestroyed reports an intercepted thread destruction.
+func (c *Client) ThreadDestroyed() error {
+	_, err := c.roundTrip(Request{Op: OpThreadDestroy})
+	return err
+}
+
+// Disconnect tears the session down and closes the connection.
+func (c *Client) Disconnect() error {
+	if c.sessionID == 0 {
+		return errors.New("cpumanager: not connected")
+	}
+	_, err := c.roundTrip(Request{Op: OpDisconnect})
+	c.sessionID = 0
+	cerr := c.conn.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

@@ -1,0 +1,311 @@
+package cpumanager
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"busaware/internal/units"
+)
+
+func TestSignalStateBasics(t *testing.T) {
+	var s SignalState
+	if s.Blocked() {
+		t.Error("zero state should be unblocked")
+	}
+	s.Block()
+	if !s.Blocked() {
+		t.Error("blocked after Block()")
+	}
+	s.Unblock()
+	if s.Blocked() {
+		t.Error("unblocked after matching Unblock()")
+	}
+}
+
+// The paper's scenario: an unblock overtakes its matching block. The
+// counting rule must leave the thread runnable.
+func TestSignalInversionTolerated(t *testing.T) {
+	var s SignalState
+	// Quantum N: blocked then unblocked, but delivered inverted.
+	s.Unblock() // the unblock arrives first
+	s.Block()   // then the (logically earlier) block
+	if s.Blocked() {
+		t.Error("inverted block/unblock pair wedged the thread")
+	}
+	b, u := s.Counts()
+	if b != 1 || u != 1 {
+		t.Errorf("counts = %d/%d", b, u)
+	}
+}
+
+// Property: for any interleaving of N blocks and N unblocks, the final
+// state is runnable; with one extra block it is blocked.
+func TestSignalCountingProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(n%20) + 1
+		var s SignalState
+		sigs := make([]bool, 0, 2*k+1)
+		for i := 0; i < k; i++ {
+			sigs = append(sigs, true, false)
+		}
+		rng.Shuffle(len(sigs), func(i, j int) { sigs[i], sigs[j] = sigs[j], sigs[i] })
+		for _, block := range sigs {
+			if block {
+				s.Block()
+			} else {
+				s.Unblock()
+			}
+		}
+		if s.Blocked() {
+			return false
+		}
+		s.Block()
+		return s.Blocked()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignalWaitWakes(t *testing.T) {
+	var s SignalState
+	s.Block()
+	done := make(chan struct{})
+	go func() {
+		s.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait returned while blocked")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.Unblock()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not wake on unblock")
+	}
+}
+
+func TestArenaPublishRead(t *testing.T) {
+	a := NewArena(100 * units.Millisecond)
+	if a.FreshAt(0) {
+		t.Error("unwritten arena should be stale")
+	}
+	a.Publish(23.6, 1000)
+	r, epoch, written := a.Read()
+	if r != 23.6 || epoch != 1 || written != 1000 {
+		t.Errorf("read = %v, %d, %v", r, epoch, written)
+	}
+	a.Publish(11.3, 2000)
+	if _, epoch, _ := a.Read(); epoch != 2 {
+		t.Error("epoch should bump per publish")
+	}
+	if !a.FreshAt(2000 + 2*100*units.Millisecond) {
+		t.Error("arena should be fresh within 2 update periods")
+	}
+	if a.FreshAt(2000 + 2*100*units.Millisecond + 1) {
+		t.Error("arena should go stale after 2 update periods")
+	}
+	if a.UpdatePeriod() != 100*units.Millisecond {
+		t.Error("update period")
+	}
+}
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(200 * units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestManagerValidation(t *testing.T) {
+	if _, err := NewManager(0); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	m := newManager(t)
+	if m.UpdatePeriod() != 100*units.Millisecond {
+		t.Errorf("update period = %v, want half quantum", m.UpdatePeriod())
+	}
+}
+
+func serve(t *testing.T, m *Manager) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go m.Serve(l)
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestConnectHandshake(t *testing.T) {
+	m := newManager(t)
+	l := serve(t, m)
+	c, err := Dial("tcp", l.Addr().String(), "CG#1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	if c.SessionID() == 0 {
+		t.Error("no session id")
+	}
+	if c.UpdatePeriod() != m.UpdatePeriod() || c.Quantum() != m.Quantum() {
+		t.Errorf("announced periods: %v/%v", c.UpdatePeriod(), c.Quantum())
+	}
+	sessions := m.Sessions()
+	if len(sessions) != 1 || sessions[0].Instance != "CG#1" || sessions[0].Threads() != 2 {
+		t.Errorf("sessions = %+v", sessions)
+	}
+	// Attach resolves the shared arena.
+	s, err := m.Attach(c.SessionID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Arena.Publish(11.65, 500)
+	r, _, _ := s.Arena.Read()
+	if r != 11.65 {
+		t.Error("arena write not visible through manager")
+	}
+}
+
+func TestThreadLifecycle(t *testing.T) {
+	m := newManager(t)
+	l := serve(t, m)
+	c, err := Dial("tcp", l.Addr().String(), "app", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	if err := c.ThreadCreated(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.Attach(c.SessionID())
+	if s.Threads() != 3 {
+		t.Errorf("threads = %d, want 3", s.Threads())
+	}
+	if err := c.ThreadDestroyed(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Threads() != 2 {
+		t.Errorf("threads = %d, want 2", s.Threads())
+	}
+	// Dropping to zero is refused.
+	c.ThreadDestroyed()
+	if err := c.ThreadDestroyed(); err == nil {
+		t.Error("thread count below 1 accepted")
+	}
+}
+
+func TestDisconnectRemovesSession(t *testing.T) {
+	m := newManager(t)
+	l := serve(t, m)
+	c, err := Dial("tcp", l.Addr().String(), "app", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sessions()) != 0 {
+		t.Error("session survived disconnect")
+	}
+	if err := c.Disconnect(); err == nil {
+		t.Error("double disconnect accepted")
+	}
+}
+
+func TestConnectionDropDisconnects(t *testing.T) {
+	m := newManager(t)
+	l := serve(t, m)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Connect(conn, "app", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+	conn.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(m.Sessions()) == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("dropped connection did not clean up session")
+}
+
+func TestBlockUnblockSessions(t *testing.T) {
+	m := newManager(t)
+	s, err := m.connect("app", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocked() {
+		t.Error("fresh session blocked")
+	}
+	m.Block(s)
+	if !s.Blocked() {
+		t.Error("Block did not block all threads")
+	}
+	if m.SignalsSent() != 3 {
+		t.Errorf("signals sent = %d, want 3 (one per thread)", m.SignalsSent())
+	}
+	m.Unblock(s)
+	if s.Blocked() {
+		t.Error("Unblock did not release")
+	}
+	if m.SignalsSent() != 6 {
+		t.Errorf("signals sent = %d, want 6", m.SignalsSent())
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	m := newManager(t)
+	l := serve(t, m)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Connect with zero threads must fail.
+	if _, err := Connect(conn, "bad", 0); err == nil {
+		t.Error("zero-thread connect accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	m := newManager(t)
+	l := serve(t, m)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial("tcp", l.Addr().String(), "app", 1+i%3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c.ThreadCreated()
+			c.ThreadDestroyed()
+			c.Disconnect()
+		}(i)
+	}
+	wg.Wait()
+	if n := len(m.Sessions()); n != 0 {
+		t.Errorf("%d sessions leaked", n)
+	}
+}

@@ -1,0 +1,142 @@
+package cpumanager
+
+import (
+	"testing"
+
+	"busaware/internal/sched"
+	"busaware/internal/units"
+)
+
+func newDirector(t *testing.T) (*Manager, *Director) {
+	t.Helper()
+	mgr, err := NewManager(200 * units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := sched.NewQuantaWindow(4, units.SustainedBusRate)
+	d, err := NewDirector(mgr, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, d
+}
+
+func TestDirectorValidation(t *testing.T) {
+	if _, err := NewDirector(nil, nil); err == nil {
+		t.Error("nil arguments accepted")
+	}
+}
+
+func TestDirectorAdmitsEveryoneWhenIdle(t *testing.T) {
+	mgr, d := newDirector(t)
+	a, _ := mgr.connect("A", 2)
+	b, _ := mgr.connect("B", 2)
+	a.Arena.Publish(0.5, 100)
+	b.Arena.Publish(0.5, 100)
+	out := d.Tick()
+	if len(out.Sessions) != 2 || out.Blocked != 0 {
+		t.Errorf("admitted %d blocked %d, want both admitted", len(out.Sessions), out.Blocked)
+	}
+	if d.Jobs() != 2 {
+		t.Errorf("tracked jobs = %d", d.Jobs())
+	}
+}
+
+func TestDirectorPairsHungryWithIdle(t *testing.T) {
+	mgr, d := newDirector(t)
+	cg, _ := mgr.connect("CG#1", 2)
+	b1, _ := mgr.connect("BBMA#1", 1)
+	b2, _ := mgr.connect("BBMA#2", 1)
+	n1, _ := mgr.connect("nBBMA#1", 1)
+	n2, _ := mgr.connect("nBBMA#2", 1)
+	publish := func(now units.Time) {
+		cg.Arena.Publish(23.31, now)
+		b1.Arena.Publish(23.6, now)
+		b2.Arena.Publish(23.6, now)
+		n1.Arena.Publish(0.0037, now)
+		n2.Arena.Publish(0.0037, now)
+	}
+	// Warm up estimates, then inspect the steady-state quanta.
+	cgWithB := 0
+	for q := 0; q < 20; q++ {
+		publish(units.Time(q+1) * 200 * units.Millisecond)
+		out := d.Tick()
+		in := map[*Session]bool{}
+		for _, s := range out.Sessions {
+			in[s] = true
+		}
+		if q >= 4 && in[cg] && (in[b1] || in[b2]) {
+			cgWithB++
+		}
+	}
+	if cgWithB > 3 {
+		t.Errorf("CG co-scheduled with BBMA in %d steady-state quanta; policy should pair it with nBBMA", cgWithB)
+	}
+}
+
+func TestDirectorEnforcesWithSignals(t *testing.T) {
+	mgr, d := newDirector(t)
+	// Six single-thread antagonists on four CPUs: someone must block.
+	var sessions []*Session
+	for i := 0; i < 6; i++ {
+		s, _ := mgr.connect("B", 1)
+		sessions = append(sessions, s)
+	}
+	for q := 0; q < 3; q++ {
+		for i, s := range sessions {
+			s.Arena.Publish(23.6, units.Time(q*200+i)*units.Millisecond)
+		}
+		out := d.Tick()
+		if len(out.Sessions) > 4 {
+			t.Fatalf("admitted %d sessions on 4 CPUs", len(out.Sessions))
+		}
+		if out.Blocked == 0 {
+			t.Error("oversubscribed quantum blocked nobody")
+		}
+	}
+	if mgr.SignalsSent() == 0 {
+		t.Error("no signals sent")
+	}
+	// Blocked sessions really are blocked; admitted ones are not.
+	out := d.Tick()
+	admitted := map[*Session]bool{}
+	for _, s := range out.Sessions {
+		admitted[s] = true
+	}
+	for _, s := range sessions {
+		if admitted[s] && s.Blocked() {
+			t.Error("admitted session left blocked")
+		}
+	}
+}
+
+func TestDirectorDropsDeadSessions(t *testing.T) {
+	mgr, d := newDirector(t)
+	a, _ := mgr.connect("A", 1)
+	d.Tick()
+	if d.Jobs() != 1 {
+		t.Fatalf("jobs = %d", d.Jobs())
+	}
+	if err := mgr.disconnect(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	d.Tick()
+	if d.Jobs() != 0 {
+		t.Errorf("jobs after disconnect = %d", d.Jobs())
+	}
+}
+
+func TestDirectorIgnoresStaleArenas(t *testing.T) {
+	mgr, d := newDirector(t)
+	a, _ := mgr.connect("A", 1)
+	// Publish once at t=0; after many quanta the page is stale, so the
+	// old estimate persists but no new samples are pushed (no panic,
+	// no starvation).
+	a.Arena.Publish(5, 0)
+	for q := 0; q < 10; q++ {
+		out := d.Tick()
+		if len(out.Sessions) != 1 {
+			t.Fatalf("sole session not admitted at quantum %d", q)
+		}
+	}
+}

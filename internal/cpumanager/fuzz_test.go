@@ -1,0 +1,88 @@
+package cpumanager
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"busaware/internal/units"
+)
+
+// FuzzProtocol throws arbitrary bytes at the manager's wire protocol:
+// the server must neither crash nor leak sessions, and must keep
+// serving well-formed clients afterwards.
+func FuzzProtocol(f *testing.F) {
+	f.Add([]byte(`{"op":"connect","instance":"x","threads":1}`))
+	f.Add([]byte(`{"op":"connect","threads":-3}`))
+	f.Add([]byte(`{"op":"thread_create","session":999}`))
+	f.Add([]byte(`{"op":`))
+	f.Add([]byte("\x00\xff\xfe garbage"))
+	f.Add([]byte(`{"op":"disconnect"}{"op":"disconnect"}`))
+
+	mgr, err := NewManager(200 * units.Millisecond)
+	if err != nil {
+		f.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	go mgr.Serve(l)
+	f.Cleanup(func() { l.Close() })
+	addr := l.Addr().String()
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Skip("dial failed (fd pressure)")
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		conn.Write(payload)
+		// Drain whatever the server answers, then drop the link.
+		buf := make([]byte, 4096)
+		conn.Read(buf)
+		conn.Close()
+
+		// The server must still serve a well-formed client.
+		c, err := Dial("tcp", addr, "post-fuzz", 1)
+		if err != nil {
+			t.Fatalf("manager wedged after payload %q: %v", payload, err)
+		}
+		if err := c.Disconnect(); err != nil {
+			t.Fatalf("disconnect after fuzz: %v", err)
+		}
+	})
+}
+
+// FuzzRequestDispatch drives the dispatcher directly with decoded but
+// adversarial requests: no panics, and errors never mint sessions.
+func FuzzRequestDispatch(f *testing.F) {
+	f.Add(`{"op":"connect","instance":"a","threads":2}`)
+	f.Add(`{"op":"thread_destroy","session":1}`)
+	f.Add(`{"op":"zzz"}`)
+	f.Add(`{"threads":1000000}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		var req Request
+		if err := json.Unmarshal([]byte(raw), &req); err != nil {
+			t.Skip()
+		}
+		mgr, err := NewManager(200 * units.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sessionID uint64
+		resp := mgr.dispatch(&sessionID, req)
+		if !resp.OK && resp.Err == "" {
+			t.Errorf("failed response without error text for %q", raw)
+		}
+		if !resp.OK && sessionID != 0 {
+			t.Errorf("failed %q leaked session %d", raw, sessionID)
+		}
+		if resp.OK && req.Op == OpConnect {
+			if len(mgr.Sessions()) != 1 {
+				t.Errorf("connect succeeded but sessions = %d", len(mgr.Sessions()))
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+// Package cpumanager implements the paper's user-level CPU manager:
+// a server process that applications connect to over a socket, a
+// shared arena page through which each application publishes its bus
+// transaction rate twice per scheduling quantum, and the block /
+// unblock signalling protocol (with the paper's inversion-tolerant
+// signal counting) through which the manager enforces its policy
+// decisions without kernel modifications.
+package cpumanager
+
+import "sync"
+
+// SignalState implements the paper's robust blocking rule: "a thread
+// blocks only if the number of received block signals exceeds the
+// corresponding number of unblock signals. Such an inversion is quite
+// probable, especially if the time interval between consecutive blocks
+// and unblocks is narrow."
+//
+// Because the rule is a counter comparison, delivering a {block,
+// unblock} pair in either order leaves the thread runnable — which is
+// exactly the property the paper relies on. The zero value is an
+// unblocked state, ready to use; it is safe for concurrent use (the
+// manager signals from its scheduling loop while application threads
+// poll).
+type SignalState struct {
+	mu       sync.Mutex
+	blocks   uint64
+	unblocks uint64
+	waiters  *sync.Cond
+}
+
+// Block records one block signal.
+func (s *SignalState) Block() {
+	s.mu.Lock()
+	s.blocks++
+	s.mu.Unlock()
+}
+
+// Unblock records one unblock signal and wakes any waiter.
+func (s *SignalState) Unblock() {
+	s.mu.Lock()
+	s.unblocks++
+	if s.waiters != nil {
+		s.waiters.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Blocked reports whether the thread should be blocked right now.
+func (s *SignalState) Blocked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blocks > s.unblocks
+}
+
+// Counts returns the raw signal counters (for diagnostics and tests).
+func (s *SignalState) Counts() (blocks, unblocks uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blocks, s.unblocks
+}
+
+// Wait parks the calling goroutine until the state is runnable. It
+// models the signal handler's sigsuspend loop.
+func (s *SignalState) Wait() {
+	s.mu.Lock()
+	if s.waiters == nil {
+		s.waiters = sync.NewCond(&s.mu)
+	}
+	for s.blocks > s.unblocks {
+		s.waiters.Wait()
+	}
+	s.mu.Unlock()
+}

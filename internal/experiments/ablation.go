@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"busaware/internal/sched"
+	"busaware/internal/sim"
+	"busaware/internal/stats"
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+// WindowAblationRow quantifies the window-length tradeoff the paper
+// discusses when it picks W = 5: longer windows track an irregular
+// transaction pattern less closely (higher distance) but give a more
+// stable estimate (lower variance), trading responsiveness for
+// stability.
+type WindowAblationRow struct {
+	Window int
+	// TrackingDistance is the mean |sample - window mean| normalized
+	// by the mean sample, over the application's per-quantum demand
+	// series ("the average distance between the observed transactions
+	// pattern and the moving window average").
+	TrackingDistance float64
+	// EstimateStdDev is the standard deviation of the window estimate
+	// across quanta — the stability side of the tradeoff.
+	EstimateStdDev float64
+	// RaytraceImprovement is the Quanta-Window-with-this-window
+	// improvement over Linux on the Raytrace + 4 nBBMA workload.
+	RaytraceImprovement float64
+}
+
+// demandSeries samples a profile's per-thread demand averaged over
+// each scheduling quantum, for horizon quanta.
+func demandSeries(p workload.Profile, quantum units.Time, horizon int) []float64 {
+	series := make([]float64, 0, horizon)
+	// A single-thread clone walks the phase clock without tripping the
+	// gang-barrier logic.
+	p.Threads = 1
+	app := workload.NewApp(p, "series")
+	th := app.Threads[0]
+	const tick = units.Millisecond
+	for q := 0; q < horizon; q++ {
+		var sum float64
+		n := int(quantum / tick)
+		for i := 0; i < n; i++ {
+			sum += float64(th.CurrentPhase().Demand)
+			// Walk the phase clock without bus interaction.
+			th.Advance(float64(tick), float64(tick), 0)
+		}
+		series = append(series, sum/float64(n))
+	}
+	return series
+}
+
+// WindowAblation sweeps window lengths on the Raytrace pattern.
+func WindowAblation(opt Options, windows []int) ([]WindowAblationRow, error) {
+	if len(windows) == 0 {
+		windows = []int{1, 2, 3, 5, 8, 12}
+	}
+	rt, ok := workload.ByName("Raytrace")
+	if !ok {
+		return nil, fmt.Errorf("experiments: Raytrace missing from registry")
+	}
+	series := demandSeries(rt, sched.DefaultQuantum, 200)
+	mean := stats.Mean(series)
+
+	var rows []WindowAblationRow
+	for _, w := range windows {
+		if w < 1 {
+			return nil, fmt.Errorf("experiments: window %d", w)
+		}
+		win := stats.NewWindow(w)
+		var dist float64
+		var estimates []float64
+		for _, x := range series {
+			win.Push(x)
+			est := win.Mean()
+			dist += math.Abs(x - est)
+			estimates = append(estimates, est)
+		}
+		row := WindowAblationRow{
+			Window:           w,
+			TrackingDistance: dist / float64(len(series)) / mean,
+			EstimateStdDev:   stats.StdDev(estimates),
+		}
+
+		linux, err := meanLinuxTurnaround(opt, rt, SetNBBMA)
+		if err != nil {
+			return nil, err
+		}
+		policy := sched.NewQuantaWindow(opt.machine().NumCPUs, opt.capacity(),
+			append([]sched.Option{sched.WithWindow(w)}, opt.PolicyOpts...)...)
+		res, err := sim.Run(opt.simConfig(), policy, buildSet(rt, SetNBBMA))
+		if err != nil {
+			return nil, err
+		}
+		row.RaytraceImprovement = improvement(linux, res.MeanTurnaround())
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// QuantumAblationRow reproduces the paper's Section 5 discussion of
+// the manager quantum: 100 ms caused "an excessive number of context
+// switches" against the kernel scheduler, so the authors settled on
+// 200 ms.
+type QuantumAblationRow struct {
+	Quantum units.Time
+	// ContextSwitchesPerSec measured machine-wide.
+	ContextSwitchesPerSec float64
+	MigrationsPerSec      float64
+	// Improvement of Quanta Window over Linux on the mixed set for a
+	// representative application (BT).
+	Improvement float64
+}
+
+// QuantumAblation sweeps the manager quantum.
+func QuantumAblation(opt Options, quanta []units.Time) ([]QuantumAblationRow, error) {
+	if len(quanta) == 0 {
+		quanta = []units.Time{50 * units.Millisecond, 100 * units.Millisecond, 200 * units.Millisecond, 400 * units.Millisecond}
+	}
+	bt, ok := workload.ByName("BT")
+	if !ok {
+		return nil, fmt.Errorf("experiments: BT missing from registry")
+	}
+	linux, err := meanLinuxTurnaround(opt, bt, SetMixed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []QuantumAblationRow
+	for _, q := range quanta {
+		if q <= 0 {
+			return nil, fmt.Errorf("experiments: quantum %v", q)
+		}
+		policy := sched.NewQuantaWindow(opt.machine().NumCPUs, opt.capacity(),
+			append([]sched.Option{sched.WithQuantum(q)}, opt.PolicyOpts...)...)
+		res, err := sim.Run(opt.simConfig(), policy, buildSet(bt, SetMixed))
+		if err != nil {
+			return nil, err
+		}
+		secs := res.EndTime.Seconds()
+		if secs <= 0 {
+			secs = 1
+		}
+		rows = append(rows, QuantumAblationRow{
+			Quantum:               q,
+			ContextSwitchesPerSec: float64(res.ContextSwitches) / secs,
+			MigrationsPerSec:      float64(res.Migrations) / secs,
+			Improvement:           improvement(linux, res.MeanTurnaround()),
+		})
+	}
+	return rows, nil
+}
+
+// OverheadResult measures the user-level CPU manager's cost in the
+// paper's worst case: multiple identical copies of a low-bandwidth
+// application (maximum blocking/unblocking and sampling relative to
+// useful work). The paper reports at most 4.5%.
+type OverheadResult struct {
+	// BaselineTurnaround is the mean turnaround with a free manager.
+	BaselineTurnaround units.Time
+	// ManagedTurnaround includes the per-quantum manager cost.
+	ManagedTurnaround units.Time
+	// OverheadPercent is the relative slowdown.
+	OverheadPercent float64
+}
+
+// ManagerOverhead runs the worst-case workload with and without the
+// modelled manager cost.
+func ManagerOverhead(opt Options, perQuantum units.Time) (OverheadResult, error) {
+	if perQuantum <= 0 {
+		perQuantum = 2 * units.Millisecond
+	}
+	vol, ok := workload.ByName("Volrend")
+	if !ok {
+		return OverheadResult{}, fmt.Errorf("experiments: Volrend missing from registry")
+	}
+	build := func() []*workload.App {
+		var apps []*workload.App
+		for i := 0; i < 3; i++ {
+			apps = append(apps, workload.NewApp(vol, fmt.Sprintf("%s#%d", vol.Name, i+1)))
+		}
+		return apps
+	}
+	ncpu := opt.machine().NumCPUs
+	cap := opt.capacity()
+	free, err := sim.Run(opt.simConfig(), sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), build())
+	if err != nil {
+		return OverheadResult{}, err
+	}
+	cfg := opt.simConfig()
+	cfg.ManagerOverhead = perQuantum
+	loaded, err := sim.Run(cfg, sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), build())
+	if err != nil {
+		return OverheadResult{}, err
+	}
+	out := OverheadResult{
+		BaselineTurnaround: free.MeanTurnaround(),
+		ManagedTurnaround:  loaded.MeanTurnaround(),
+	}
+	if out.BaselineTurnaround > 0 {
+		out.OverheadPercent = float64(out.ManagedTurnaround-out.BaselineTurnaround) /
+			float64(out.BaselineTurnaround) * 100
+	}
+	return out, nil
+}
+
+// ZooRow compares every scheduler in the repository on one workload —
+// the extension ablation isolating gang scheduling, bandwidth
+// awareness, and estimator quality.
+type ZooRow struct {
+	Scheduler      string
+	MeanTurnaround units.Time
+	// ImprovementVsLinux in percent.
+	ImprovementVsLinux float64
+}
+
+// SchedulerZoo runs the full scheduler lineup on the mixed set for the
+// given application profile.
+func SchedulerZoo(opt Options, appName string) ([]ZooRow, error) {
+	p, ok := workload.ByName(appName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown application %q", appName)
+	}
+	linux, err := meanLinuxTurnaround(opt, p, SetMixed)
+	if err != nil {
+		return nil, err
+	}
+	ncpu := opt.machine().NumCPUs
+	cap := opt.capacity()
+	optimal, err := sched.NewOptimal(ncpu, opt.machine().Bus)
+	if err != nil {
+		return nil, err
+	}
+	scheds := []sched.Scheduler{
+		sched.NewRoundRobin(ncpu, 0),
+		sched.NewGang(ncpu),
+		sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...),
+		sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
+		sched.NewEWMAPolicy(ncpu, cap, 0.4, opt.PolicyOpts...),
+		sched.NewOracle(ncpu, cap, opt.PolicyOpts...),
+		optimal,
+	}
+	rows := []ZooRow{{Scheduler: "Linux", MeanTurnaround: linux, ImprovementVsLinux: 0}}
+	for _, s := range scheds {
+		res, err := sim.Run(opt.simConfig(), s, buildSet(p, SetMixed))
+		if err != nil {
+			return nil, err
+		}
+		if res.TimedOut {
+			return nil, fmt.Errorf("experiments: %s timed out in zoo", s.Name())
+		}
+		rows = append(rows, ZooRow{
+			Scheduler:          s.Name(),
+			MeanTurnaround:     res.MeanTurnaround(),
+			ImprovementVsLinux: improvement(linux, res.MeanTurnaround()),
+		})
+	}
+	return rows, nil
+}
+
+// SamplingAblationRow contrasts the two estimator inputs on the
+// saturated set: requirement-corrected sampling (default) versus raw
+// consumption, which deflates under contention and blinds the fitness
+// metric (see sim.SampleMode) — plus the optional saturation-guarded
+// selection variant.
+type SamplingAblationRow struct {
+	App                     string
+	RequirementsImprovement float64
+	ConsumptionImprovement  float64
+	GuardedImprovement      float64
+}
+
+// SamplingAblation measures both sampling modes plus the
+// saturation-guarded selection for a few representative applications.
+func SamplingAblation(opt Options, appNames []string) ([]SamplingAblationRow, error) {
+	if len(appNames) == 0 {
+		appNames = []string{"Radiosity", "BT", "CG"}
+	}
+	var rows []SamplingAblationRow
+	ncpu := opt.machine().NumCPUs
+	cap := opt.capacity()
+	for _, name := range appNames {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown application %q", name)
+		}
+		linux, err := meanLinuxTurnaround(opt, p, SetBBMA)
+		if err != nil {
+			return nil, err
+		}
+		row := SamplingAblationRow{App: name}
+
+		cfg := opt.simConfig()
+		cfg.Sampling = sim.SampleRequirements
+		res, err := sim.Run(cfg, sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), buildSet(p, SetBBMA))
+		if err != nil {
+			return nil, err
+		}
+		row.RequirementsImprovement = improvement(linux, res.MeanTurnaround())
+
+		cfg.Sampling = sim.SampleConsumption
+		res, err = sim.Run(cfg, sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), buildSet(p, SetBBMA))
+		if err != nil {
+			return nil, err
+		}
+		row.ConsumptionImprovement = improvement(linux, res.MeanTurnaround())
+
+		cfg.Sampling = sim.SampleRequirements
+		guarded := sched.NewQuantaWindow(ncpu, cap,
+			append([]sched.Option{sched.WithSaturationGuard()}, opt.PolicyOpts...)...)
+		res, err = sim.Run(cfg, guarded, buildSet(p, SetBBMA))
+		if err != nil {
+			return nil, err
+		}
+		row.GuardedImprovement = improvement(linux, res.MeanTurnaround())
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

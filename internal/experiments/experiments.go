@@ -1,0 +1,137 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation, plus the ablations called out in DESIGN.md. Each
+// experiment builds its workload from the registry, runs it through
+// internal/sim on the simulated paper machine, and returns structured
+// rows that cmd/figures renders and bench_test.go regenerates.
+package experiments
+
+import (
+	"fmt"
+
+	"busaware/internal/machine"
+	"busaware/internal/sched"
+	"busaware/internal/sim"
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Machine overrides the simulated hardware (zero = paper machine).
+	Machine machine.Config
+	// LinuxSeeds are the seeds for the Linux baseline runs; the
+	// reported baseline is the mean over seeds. Empty selects
+	// DefaultLinuxSeeds.
+	LinuxSeeds []int64
+	// Sampling selects the CPU manager's estimator input.
+	Sampling sim.SampleMode
+	// PolicyOpts are applied to every bandwidth-aware policy built.
+	PolicyOpts []sched.Option
+}
+
+// DefaultLinuxSeeds gives the baseline three runs to average over,
+// since the 2.4 scheduler's mixing is order-dependent.
+var DefaultLinuxSeeds = []int64{1, 2, 3}
+
+func (o Options) machine() machine.Config {
+	if o.Machine.NumCPUs == 0 {
+		return machine.DefaultConfig()
+	}
+	return o.Machine
+}
+
+func (o Options) seeds() []int64 {
+	if len(o.LinuxSeeds) == 0 {
+		return DefaultLinuxSeeds
+	}
+	return o.LinuxSeeds
+}
+
+func (o Options) simConfig() sim.Config {
+	return sim.Config{Machine: o.machine(), Sampling: o.Sampling}
+}
+
+func (o Options) capacity() units.Rate {
+	return o.machine().Bus.Capacity
+}
+
+// WorkloadSet identifies the paper's three Section 5 workload
+// families.
+type WorkloadSet int
+
+// The three experiment sets of Figure 2.
+const (
+	// SetBBMA: two application instances + four BBMA copies (Fig 2A) —
+	// the policies on an already saturated bus.
+	SetBBMA WorkloadSet = iota
+	// SetNBBMA: two application instances + four nBBMA copies
+	// (Fig 2B) — low-bandwidth companions available.
+	SetNBBMA
+	// SetMixed: two instances + two BBMA + two nBBMA (Fig 2C).
+	SetMixed
+)
+
+func (s WorkloadSet) String() string {
+	switch s {
+	case SetBBMA:
+		return "2Apps+4BBMA"
+	case SetNBBMA:
+		return "2Apps+4nBBMA"
+	case SetMixed:
+		return "2Apps+2BBMA+2nBBMA"
+	default:
+		return "unknown"
+	}
+}
+
+// buildSet instantiates the workload for one application profile under
+// the given set (fresh instances every call — sim mutates apps).
+func buildSet(app workload.Profile, set WorkloadSet) []*workload.App {
+	apps := []*workload.App{
+		workload.NewApp(app, app.Name+"#1"),
+		workload.NewApp(app, app.Name+"#2"),
+	}
+	nB, nN := 0, 0
+	switch set {
+	case SetBBMA:
+		nB = 4
+	case SetNBBMA:
+		nN = 4
+	case SetMixed:
+		nB, nN = 2, 2
+	}
+	for i := 0; i < nB; i++ {
+		apps = append(apps, workload.NewApp(workload.BBMA(), fmt.Sprintf("BBMA#%d", i+1)))
+	}
+	for i := 0; i < nN; i++ {
+		apps = append(apps, workload.NewApp(workload.NBBMA(), fmt.Sprintf("nBBMA#%d", i+1)))
+	}
+	return apps
+}
+
+// meanLinuxTurnaround runs the workload under the Linux baseline for
+// each seed and returns the mean of the per-run mean turnarounds.
+func meanLinuxTurnaround(opt Options, app workload.Profile, set WorkloadSet) (units.Time, error) {
+	var sum units.Time
+	seeds := opt.seeds()
+	for _, seed := range seeds {
+		res, err := sim.Run(opt.simConfig(), sched.NewLinux(opt.machine().NumCPUs, seed), buildSet(app, set))
+		if err != nil {
+			return 0, err
+		}
+		if res.TimedOut {
+			return 0, fmt.Errorf("experiments: Linux run timed out for %s/%s", app.Name, set)
+		}
+		sum += res.MeanTurnaround()
+	}
+	return sum / units.Time(len(seeds)), nil
+}
+
+// improvement returns the paper's metric: percentage reduction of the
+// mean turnaround relative to the baseline.
+func improvement(baseline, policy units.Time) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return float64(baseline-policy) / float64(baseline) * 100
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"busaware/internal/sched"
+	"busaware/internal/sim"
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+// The paper's Section 6 names two future directions: testing the
+// scheduler "with I/O and network-intensive workloads ... web and
+// database servers", and extending it "in the context of
+// multithreading processors". Both are implemented here as extension
+// experiments.
+
+// ServerRow is one server application's outcome on the mixed
+// antagonist set.
+type ServerRow struct {
+	App             string
+	LinuxTurnaround units.Time
+	LQTurnaround    units.Time
+	QWTurnaround    units.Time
+	LQImprovement   float64
+	QWImprovement   float64
+}
+
+// ServerWorkloads runs the web-server and database profiles through
+// the mixed antagonist set, exactly like a Figure 2C panel.
+func ServerWorkloads(opt Options) ([]ServerRow, error) {
+	var rows []ServerRow
+	for _, p := range workload.ServerProfiles() {
+		f2, err := Figure2App(SetMixed, opt, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ServerRow{
+			App:             p.Name,
+			LinuxTurnaround: f2.LinuxTurnaround,
+			LQTurnaround:    f2.LQTurnaround,
+			QWTurnaround:    f2.QWTurnaround,
+			LQImprovement:   f2.LQImprovement,
+			QWImprovement:   f2.QWImprovement,
+		})
+	}
+	return rows, nil
+}
+
+// SMTRow compares one scheduling policy with hyperthreading off
+// (4 logical = 4 physical processors, the paper's configuration)
+// versus on (8 logical processors over 4 cores).
+type SMTRow struct {
+	Policy string
+	// SMTOff and SMTOn are mean turnarounds of the BT mixed workload.
+	SMTOff units.Time
+	SMTOn  units.Time
+	// SpeedupPercent is the throughput gained (or lost) by enabling
+	// hyperthreading under this policy.
+	SpeedupPercent float64
+}
+
+// SMTStudy measures how the policies exploit hyperthreading — the
+// paper's "multithreading processors" future-work direction. The
+// workload doubles with the logical processor count so both machines
+// run at multiprogramming degree 2.
+func SMTStudy(opt Options) ([]SMTRow, error) {
+	bt, ok := workload.ByName("BT")
+	if !ok {
+		return nil, fmt.Errorf("experiments: BT missing from registry")
+	}
+	build := func(scale int) []*workload.App {
+		apps := workload.Instances(bt, 2*scale)
+		for i := 0; i < 2*scale; i++ {
+			apps = append(apps, workload.NewApp(workload.BBMA(), fmt.Sprintf("B#%d", i+1)))
+		}
+		for i := 0; i < 2*scale; i++ {
+			apps = append(apps, workload.NewApp(workload.NBBMA(), fmt.Sprintf("n#%d", i+1)))
+		}
+		return apps
+	}
+
+	off := opt.machine() // 4 CPUs, SMT off
+	on := opt.machine()
+	on.NumCPUs = off.NumCPUs * 2
+	on.SMTSiblings = 2
+
+	mkPolicy := func(name string, m sim.Config, ncpu int) (sched.Scheduler, error) {
+		switch name {
+		case "Linux":
+			return sched.NewLinux(ncpu, 1), nil
+		case "QuantaWindow":
+			return sched.NewQuantaWindow(ncpu, m.Machine.Bus.Capacity, opt.PolicyOpts...), nil
+		default:
+			return nil, fmt.Errorf("experiments: unknown SMT policy %q", name)
+		}
+	}
+
+	var rows []SMTRow
+	for _, name := range []string{"Linux", "QuantaWindow"} {
+		offCfg := sim.Config{Machine: off, Sampling: opt.Sampling}
+		sOff, err := mkPolicy(name, offCfg, off.NumCPUs)
+		if err != nil {
+			return nil, err
+		}
+		resOff, err := sim.Run(offCfg, sOff, build(1))
+		if err != nil {
+			return nil, err
+		}
+		onCfg := sim.Config{Machine: on, Sampling: opt.Sampling}
+		sOn, err := mkPolicy(name, onCfg, on.NumCPUs)
+		if err != nil {
+			return nil, err
+		}
+		resOn, err := sim.Run(onCfg, sOn, build(2))
+		if err != nil {
+			return nil, err
+		}
+		if resOff.TimedOut || resOn.TimedOut {
+			return nil, fmt.Errorf("experiments: SMT run timed out under %s", name)
+		}
+		row := SMTRow{
+			Policy: name,
+			SMTOff: resOff.MeanTurnaround(),
+			SMTOn:  resOn.MeanTurnaround(),
+		}
+		// With twice the work and the same cores, finishing in under
+		// 2x the time is an SMT win. Normalize per unit of work.
+		offPerWork := float64(resOff.MeanTurnaround())
+		onPerWork := float64(resOn.MeanTurnaround()) / 2
+		if offPerWork > 0 {
+			row.SpeedupPercent = (offPerWork - onPerWork) / offPerWork * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

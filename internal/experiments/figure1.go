@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"busaware/internal/sched"
+	"busaware/internal/sim"
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+// Fig1Row reproduces one application's bars across Figure 1's four
+// configurations: solo, two instances, one instance + 2 BBMA, and one
+// instance + 2 nBBMA. Rates are the cumulative workload bus
+// transaction rates (panel A); slowdowns are relative to the solo run
+// (panel B). None of these configurations share processors: the four
+// threads fit the four CPUs exactly.
+type Fig1Row struct {
+	App string
+
+	// Panel A: cumulative bus transactions per usec.
+	SoloRate      units.Rate
+	TwoAppsRate   units.Rate
+	WithBBMARate  units.Rate
+	WithNBBMARate units.Rate
+
+	// Panel B: arithmetic-mean slowdown of the application instances.
+	TwoAppsSlowdown   float64
+	WithBBMASlowdown  float64
+	WithNBBMASlowdown float64
+}
+
+// Figure1 reproduces Figure 1 (both panels) for the eleven paper
+// applications, in increasing solo-rate order.
+func Figure1(opt Options) ([]Fig1Row, error) {
+	var rows []Fig1Row
+	for _, p := range workload.PaperApps() {
+		row, err := figure1Row(opt, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// figure1Row measures one application across the four configurations.
+func figure1Row(opt Options, p workload.Profile) (Fig1Row, error) {
+	row := Fig1Row{App: p.Name}
+
+	// Gang first-fit on a dedicated machine runs every thread every
+	// quantum in all four configurations: no processor sharing, as in
+	// the paper's Section 3 setup.
+	dedicated := func(apps []*workload.App) (sim.Result, units.Rate, error) {
+		res, err := sim.Run(opt.simConfig(), sched.NewGang(opt.machine().NumCPUs), apps)
+		if err != nil {
+			return res, 0, err
+		}
+		if res.TimedOut {
+			return res, 0, fmt.Errorf("experiments: fig1 run timed out for %s", p.Name)
+		}
+		// Cumulative rate: the finite apps' mean rates plus the
+		// microbenchmarks' transactions over the run.
+		var cum units.Rate
+		for _, a := range res.Apps {
+			cum += a.MeanBusRate
+		}
+		var micro []*workload.App
+		for _, a := range apps {
+			if a.Profile.Endless() {
+				micro = append(micro, a)
+			}
+		}
+		for _, r := range sim.MicrobenchRates(micro, res.EndTime) {
+			cum += r
+		}
+		return res, cum, nil
+	}
+
+	solo, soloRate, err := dedicated([]*workload.App{workload.NewApp(p, p.Name+"#1")})
+	if err != nil {
+		return row, err
+	}
+	row.SoloRate = soloRate
+	soloT := solo.Apps[0].Turnaround
+
+	two, twoRate, err := dedicated([]*workload.App{
+		workload.NewApp(p, p.Name+"#1"), workload.NewApp(p, p.Name+"#2"),
+	})
+	if err != nil {
+		return row, err
+	}
+	row.TwoAppsRate = twoRate
+	row.TwoAppsSlowdown = meanSlowdown(two, soloT)
+
+	bbma, bbmaRate, err := dedicated([]*workload.App{
+		workload.NewApp(p, p.Name+"#1"),
+		workload.NewApp(workload.BBMA(), "BBMA#1"),
+		workload.NewApp(workload.BBMA(), "BBMA#2"),
+	})
+	if err != nil {
+		return row, err
+	}
+	row.WithBBMARate = bbmaRate
+	row.WithBBMASlowdown = meanSlowdown(bbma, soloT)
+
+	nbbma, nbbmaRate, err := dedicated([]*workload.App{
+		workload.NewApp(p, p.Name+"#1"),
+		workload.NewApp(workload.NBBMA(), "nBBMA#1"),
+		workload.NewApp(workload.NBBMA(), "nBBMA#2"),
+	})
+	if err != nil {
+		return row, err
+	}
+	row.WithNBBMARate = nbbmaRate
+	row.WithNBBMASlowdown = meanSlowdown(nbbma, soloT)
+	return row, nil
+}
+
+// meanSlowdown averages the instances' turnarounds against the solo
+// turnaround, as the paper does ("the arithmetic mean of the slowdown
+// of the two instances").
+func meanSlowdown(res sim.Result, solo units.Time) float64 {
+	if solo <= 0 || len(res.Apps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range res.Apps {
+		sum += float64(a.Turnaround) / float64(solo)
+	}
+	return sum / float64(len(res.Apps))
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"busaware/internal/sched"
+	"busaware/internal/sim"
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+// Fig2Row is one application's bars in one panel of Figure 2: the
+// percentage improvement of the mean application turnaround under each
+// policy relative to the Linux baseline.
+type Fig2Row struct {
+	App string
+
+	LinuxTurnaround units.Time
+	LQTurnaround    units.Time
+	QWTurnaround    units.Time
+
+	// LQImprovement and QWImprovement are percentages; positive means
+	// the policy beats Linux.
+	LQImprovement float64
+	QWImprovement float64
+}
+
+// Figure2 reproduces one panel of Figure 2 (A: SetBBMA, B: SetNBBMA,
+// C: SetMixed) across the eleven applications.
+func Figure2(set WorkloadSet, opt Options) ([]Fig2Row, error) {
+	var rows []Fig2Row
+	for _, p := range workload.PaperApps() {
+		row, err := Figure2App(set, opt, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure2App measures a single application in one panel.
+func Figure2App(set WorkloadSet, opt Options, p workload.Profile) (Fig2Row, error) {
+	row := Fig2Row{App: p.Name}
+	linux, err := meanLinuxTurnaround(opt, p, set)
+	if err != nil {
+		return row, err
+	}
+	row.LinuxTurnaround = linux
+
+	ncpu := opt.machine().NumCPUs
+	cap := opt.capacity()
+
+	lq, err := sim.Run(opt.simConfig(), sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...), buildSet(p, set))
+	if err != nil {
+		return row, err
+	}
+	qw, err := sim.Run(opt.simConfig(), sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), buildSet(p, set))
+	if err != nil {
+		return row, err
+	}
+	if lq.TimedOut || qw.TimedOut {
+		return row, fmt.Errorf("experiments: fig2 policy run timed out for %s/%s", p.Name, set)
+	}
+	row.LQTurnaround = lq.MeanTurnaround()
+	row.QWTurnaround = qw.MeanTurnaround()
+	row.LQImprovement = improvement(linux, row.LQTurnaround)
+	row.QWImprovement = improvement(linux, row.QWTurnaround)
+	return row, nil
+}
+
+// Fig2Summary aggregates a panel the way the paper quotes it.
+type Fig2Summary struct {
+	Set            WorkloadSet
+	LQMean, QWMean float64
+	LQMin, QWMin   float64
+	LQMax, QWMax   float64
+}
+
+// Summarize computes the panel aggregate.
+func Summarize(set WorkloadSet, rows []Fig2Row) Fig2Summary {
+	s := Fig2Summary{Set: set}
+	if len(rows) == 0 {
+		return s
+	}
+	s.LQMin, s.QWMin = rows[0].LQImprovement, rows[0].QWImprovement
+	s.LQMax, s.QWMax = s.LQMin, s.QWMin
+	for _, r := range rows {
+		s.LQMean += r.LQImprovement
+		s.QWMean += r.QWImprovement
+		if r.LQImprovement < s.LQMin {
+			s.LQMin = r.LQImprovement
+		}
+		if r.LQImprovement > s.LQMax {
+			s.LQMax = r.LQImprovement
+		}
+		if r.QWImprovement < s.QWMin {
+			s.QWMin = r.QWImprovement
+		}
+		if r.QWImprovement > s.QWMax {
+			s.QWMax = r.QWImprovement
+		}
+	}
+	s.LQMean /= float64(len(rows))
+	s.QWMean /= float64(len(rows))
+	return s
+}

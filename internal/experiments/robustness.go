@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"busaware/internal/sched"
+	"busaware/internal/sim"
+	"busaware/internal/stats"
+	"busaware/internal/workload"
+)
+
+// RobustnessResult summarizes the policies over randomly generated
+// heterogeneous workloads — an extension beyond the paper's
+// hand-picked mixes that checks the policies did not overfit them.
+type RobustnessResult struct {
+	Workloads int
+	// LQ and QW are the distributions of per-workload improvement (%)
+	// over the Linux baseline.
+	LQ stats.Summary
+	QW stats.Summary
+	// LQWins / QWWins count workloads where the policy strictly beat
+	// Linux.
+	LQWins int
+	QWWins int
+}
+
+// Robustness generates n random workloads (each: two 1-4 thread
+// synthetic applications with random phase structure plus a random
+// mix of 2-4 antagonists) and measures both policies against Linux.
+// The generator is deterministic in seed.
+func Robustness(opt Options, n int, seed int64) (RobustnessResult, error) {
+	if n <= 0 {
+		n = 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := RobustnessResult{Workloads: n}
+	var lqImps, qwImps []float64
+
+	ncpu := opt.machine().NumCPUs
+	cap := opt.capacity()
+	for i := 0; i < n; i++ {
+		// Two random finite applications...
+		p1 := workload.RandomProfile(rng, fmt.Sprintf("rnd%da", i))
+		p2 := workload.RandomProfile(rng, fmt.Sprintf("rnd%db", i))
+		if p1.Threads > ncpu {
+			p1.Threads = ncpu
+		}
+		if p2.Threads > ncpu {
+			p2.Threads = ncpu
+		}
+		// ... plus a random antagonist mix.
+		nB := 1 + rng.Intn(3)
+		nN := 1 + rng.Intn(3)
+		build := func() []*workload.App {
+			apps := []*workload.App{
+				workload.NewApp(p1, p1.Name+"#1"),
+				workload.NewApp(p2, p2.Name+"#1"),
+			}
+			for b := 0; b < nB; b++ {
+				apps = append(apps, workload.NewApp(workload.BBMA(), fmt.Sprintf("B#%d", b+1)))
+			}
+			for b := 0; b < nN; b++ {
+				apps = append(apps, workload.NewApp(workload.NBBMA(), fmt.Sprintf("n#%d", b+1)))
+			}
+			return apps
+		}
+
+		linux, err := sim.Run(opt.simConfig(), sched.NewLinux(ncpu, rng.Int63()), build())
+		if err != nil {
+			return out, err
+		}
+		lq, err := sim.Run(opt.simConfig(), sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...), build())
+		if err != nil {
+			return out, err
+		}
+		qw, err := sim.Run(opt.simConfig(), sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), build())
+		if err != nil {
+			return out, err
+		}
+		if linux.TimedOut || lq.TimedOut || qw.TimedOut {
+			return out, fmt.Errorf("experiments: robustness workload %d timed out", i)
+		}
+		lqImp := improvement(linux.MeanTurnaround(), lq.MeanTurnaround())
+		qwImp := improvement(linux.MeanTurnaround(), qw.MeanTurnaround())
+		lqImps = append(lqImps, lqImp)
+		qwImps = append(qwImps, qwImp)
+		if lqImp > 0 {
+			out.LQWins++
+		}
+		if qwImp > 0 {
+			out.QWWins++
+		}
+	}
+	var err error
+	if out.LQ, err = stats.Summarize(lqImps); err != nil {
+		return out, err
+	}
+	if out.QW, err = stats.Summarize(qwImps); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package mem
+
+import (
+	"time"
+
+	"busaware/internal/units"
+)
+
+// Native STREAM kernels. These run on the host and measure real memory
+// bandwidth, the same way the authors calibrated their Xeon with
+// McCalpin's STREAM. cmd/calibrate reports them next to the simulated
+// numbers so a user can re-base the simulator on their own machine.
+
+// NativeResult is the outcome of one native kernel run.
+type NativeResult struct {
+	Kernel     StreamKernel
+	Bytes      units.Bytes // bytes moved, STREAM accounting
+	Elapsed    time.Duration
+	MBPerSec   float64
+	TransPerUs units.Rate // bandwidth expressed in 64B bus transactions
+}
+
+// RunNative executes kernel k over float64 arrays of n elements, iters
+// times, and reports the best (maximum) bandwidth across iterations,
+// following STREAM convention.
+func RunNative(k StreamKernel, n, iters int) NativeResult {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range a {
+		a[i] = 1
+		b[i] = 2
+		c[i] = 0
+	}
+	const q = 3.0
+	reads, writes := k.arrays()
+	bytesMoved := units.Bytes((reads + writes) * 8 * n)
+
+	best := time.Duration(1<<62 - 1)
+	for it := 0; it < iters; it++ {
+		start := time.Now()
+		switch k {
+		case StreamCopy:
+			copy(c, a)
+		case StreamScale:
+			for i := range b {
+				b[i] = q * c[i]
+			}
+		case StreamAdd:
+			for i := range c {
+				c[i] = a[i] + b[i]
+			}
+		case StreamTriad:
+			for i := range a {
+				a[i] = b[i] + q*c[i]
+			}
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		best = time.Nanosecond
+	}
+	mbps := float64(bytesMoved) / 1e6 / best.Seconds()
+	return NativeResult{
+		Kernel:     k,
+		Bytes:      bytesMoved,
+		Elapsed:    best,
+		MBPerSec:   mbps,
+		TransPerUs: units.RateFromMBPerSec(mbps),
+	}
+}

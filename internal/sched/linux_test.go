@@ -1,0 +1,261 @@
+package sched
+
+import (
+	"testing"
+
+	"busaware/internal/machine"
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+// fakeAffinity is a test double for machine affinity state.
+type fakeAffinity map[*workload.Thread]int
+
+func (f fakeAffinity) LastCPU(t *workload.Thread) int {
+	if cpu, ok := f[t]; ok {
+		return cpu
+	}
+	return -1
+}
+
+func TestLinuxSchedulesUpToNumCPUs(t *testing.T) {
+	l := NewLinux(4, 1)
+	cg := NewJob(workload.NewApp(mustProfile(t, "CG"), "CG#1"), 1, 0)
+	sp := NewJob(workload.NewApp(mustProfile(t, "SP"), "SP#1"), 1, 0)
+	b := NewJob(workload.NewApp(workload.BBMA(), "B#1"), 1, 0)
+	l.Add(cg)
+	l.Add(sp)
+	l.Add(b)
+	pl := l.Schedule(0, nil)
+	if len(pl) != 4 {
+		t.Fatalf("placed %d threads, want 4 (5 runnable, 4 CPUs)", len(pl))
+	}
+	cpus := map[int]bool{}
+	for _, p := range pl {
+		if cpus[p.CPU] {
+			t.Error("CPU double-booked")
+		}
+		cpus[p.CPU] = true
+	}
+}
+
+func mustProfile(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	return p
+}
+
+func TestLinuxTimeSharesEverything(t *testing.T) {
+	// 8 threads on 4 CPUs: over an epoch every thread must run.
+	l := NewLinux(4, 42)
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j := NewJob(workload.NewApp(workload.BBMA(), "B#"+string(rune('1'+i))), 1, 0)
+		jobs = append(jobs, j)
+		l.Add(j)
+	}
+	cg := NewJob(workload.NewApp(mustProfile(t, "CG"), "CG#1"), 1, 0)
+	sp := NewJob(workload.NewApp(mustProfile(t, "SP"), "SP#1"), 1, 0)
+	jobs = append(jobs, cg, sp)
+	l.Add(cg)
+	l.Add(sp)
+
+	ran := map[*workload.Thread]int{}
+	for q := 0; q < 20; q++ {
+		for _, p := range l.Schedule(0, nil) {
+			ran[p.Thread]++
+		}
+	}
+	for _, j := range jobs {
+		for _, th := range j.App.Threads {
+			if ran[th] == 0 {
+				t.Errorf("thread %s/%d starved", th.App.Instance, th.Index)
+			}
+		}
+	}
+}
+
+func TestLinuxAffinityBias(t *testing.T) {
+	l := NewLinux(2, 7)
+	a := NewJob(workload.NewApp(workload.BBMA(), "A"), 1, 0)
+	b := NewJob(workload.NewApp(workload.BBMA(), "B"), 1, 0)
+	l.Add(a)
+	l.Add(b)
+	aff := fakeAffinity{
+		a.App.Threads[0]: 1,
+		b.App.Threads[0]: 0,
+	}
+	pl := l.Schedule(0, aff)
+	if len(pl) != 2 {
+		t.Fatalf("placed %d", len(pl))
+	}
+	for _, p := range pl {
+		if want := aff[p.Thread]; p.CPU != want {
+			t.Errorf("thread placed on %d, affinity says %d", p.CPU, want)
+		}
+	}
+}
+
+func TestLinuxRemove(t *testing.T) {
+	l := NewLinux(4, 1)
+	a := NewJob(workload.NewApp(workload.BBMA(), "A"), 1, 0)
+	b := NewJob(workload.NewApp(workload.BBMA(), "B"), 1, 0)
+	l.Add(a)
+	l.Add(b)
+	l.Remove(a)
+	for q := 0; q < 10; q++ {
+		for _, p := range l.Schedule(0, nil) {
+			if p.Thread.App == a.App {
+				t.Fatal("removed app still scheduled")
+			}
+		}
+	}
+}
+
+func TestLinuxEmpty(t *testing.T) {
+	l := NewLinux(4, 1)
+	if pl := l.Schedule(0, nil); pl != nil {
+		t.Errorf("empty scheduler produced placements: %v", pl)
+	}
+	if l.Quantum() != LinuxQuantum {
+		t.Errorf("quantum = %v", l.Quantum())
+	}
+	if l.Name() != "Linux" {
+		t.Error(l.Name())
+	}
+}
+
+func TestGangFirstFit(t *testing.T) {
+	g := NewGang(4)
+	cg := NewJob(workload.NewApp(mustProfile(t, "CG"), "CG#1"), 1, 0) // 2 threads
+	sp := NewJob(workload.NewApp(mustProfile(t, "SP"), "SP#1"), 1, 0) // 2 threads
+	mg := NewJob(workload.NewApp(mustProfile(t, "MG"), "MG#1"), 1, 0) // 2 threads
+	g.Add(cg)
+	g.Add(sp)
+	g.Add(mg)
+	pl := g.Schedule(0, nil)
+	// First-fit: CG + SP fill all four CPUs; MG waits.
+	if len(pl) != 4 {
+		t.Fatalf("placed %d threads", len(pl))
+	}
+	for _, p := range pl {
+		if p.Thread.App == mg.App {
+			t.Error("third gang should not fit")
+		}
+	}
+	// Next quantum the list has rotated: MG now runs.
+	pl2 := g.Schedule(0, nil)
+	foundMG := false
+	for _, p := range pl2 {
+		if p.Thread.App == mg.App {
+			foundMG = true
+		}
+	}
+	if !foundMG {
+		t.Error("gang rotation failed to run MG next")
+	}
+	if g.Name() != "GangRR" || g.Quantum() != DefaultQuantum {
+		t.Error("gang identity")
+	}
+}
+
+func TestGangQuantumOption(t *testing.T) {
+	g := NewGang(4, WithGangQuantum(50*units.Millisecond))
+	if g.Quantum() != 50*units.Millisecond {
+		t.Error("gang quantum option ignored")
+	}
+	g2 := NewGang(4, WithGangQuantum(0))
+	if g2.Quantum() != DefaultQuantum {
+		t.Error("zero gang quantum should be ignored")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := NewRoundRobin(2, 0)
+	if r.Quantum() != LinuxQuantum {
+		t.Error("default RR quantum should match Linux")
+	}
+	a := NewJob(workload.NewApp(workload.BBMA(), "A"), 1, 0)
+	b := NewJob(workload.NewApp(workload.BBMA(), "B"), 1, 0)
+	c := NewJob(workload.NewApp(workload.BBMA(), "C"), 1, 0)
+	r.Add(a)
+	r.Add(b)
+	r.Add(c)
+	seen := map[*workload.App]int{}
+	for q := 0; q < 6; q++ {
+		pl := r.Schedule(0, nil)
+		if len(pl) != 2 {
+			t.Fatalf("RR placed %d on 2 CPUs", len(pl))
+		}
+		for _, p := range pl {
+			seen[p.Thread.App]++
+		}
+	}
+	// 12 slots over 3 single-thread apps: each gets exactly 4.
+	for app, n := range seen {
+		if n != 4 {
+			t.Errorf("%s ran %d times, want 4", app.Instance, n)
+		}
+	}
+	r.Remove(b)
+	pl := r.Schedule(0, nil)
+	for _, p := range pl {
+		if p.Thread.App == b.App {
+			t.Error("removed app scheduled")
+		}
+	}
+	if r.Name() != "RR" {
+		t.Error(r.Name())
+	}
+}
+
+func TestRoundRobinEmpty(t *testing.T) {
+	r := NewRoundRobin(4, 100)
+	if pl := r.Schedule(0, nil); pl != nil {
+		t.Error("empty RR produced placements")
+	}
+}
+
+// All schedulers must produce placements a real Machine accepts.
+func TestSchedulersProduceValidPlacements(t *testing.T) {
+	mkJobs := func() []*Job {
+		return []*Job{
+			NewJob(workload.NewApp(mustProfile(t, "CG"), "CG#1"), DefaultWindow, 0.4),
+			NewJob(workload.NewApp(mustProfile(t, "Radiosity"), "R#1"), DefaultWindow, 0.4),
+			NewJob(workload.NewApp(workload.BBMA(), "B#1"), DefaultWindow, 0.4),
+			NewJob(workload.NewApp(workload.BBMA(), "B#2"), DefaultWindow, 0.4),
+			NewJob(workload.NewApp(workload.NBBMA(), "n#1"), DefaultWindow, 0.4),
+			NewJob(workload.NewApp(workload.NBBMA(), "n#2"), DefaultWindow, 0.4),
+		}
+	}
+	scheds := []Scheduler{
+		NewLatestQuantum(4, units.SustainedBusRate),
+		NewQuantaWindow(4, units.SustainedBusRate),
+		NewEWMAPolicy(4, units.SustainedBusRate, 0.4),
+		NewOracle(4, units.SustainedBusRate),
+		NewLinux(4, 3),
+		NewGang(4),
+		NewRoundRobin(4, 0),
+	}
+	for _, s := range scheds {
+		t.Run(s.Name(), func(t *testing.T) {
+			m, err := machine.New(machine.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range mkJobs() {
+				j.PushSample(j.TrueRate())
+				s.Add(j)
+			}
+			for q := 0; q < 30; q++ {
+				pl := s.Schedule(m.Now(), m)
+				if _, err := m.Step(pl, s.Quantum()); err != nil {
+					t.Fatalf("quantum %d: %v (placements %v)", q, err, pl)
+				}
+			}
+		})
+	}
+}

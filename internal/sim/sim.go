@@ -1,0 +1,357 @@
+// Package sim runs multiprogrammed workloads on the simulated SMP
+// under a chosen scheduling policy and collects the metrics the
+// paper's figures are built from: per-application turnaround times,
+// achieved bus transaction rates, migrations, context switches and bus
+// utilization.
+//
+// The loop mirrors the paper's system structure: each quantum the
+// scheduler produces placements, the machine executes them, and the
+// CPU-manager sampling path (virtual performance counters polled via
+// perfctr monitors) feeds per-thread bus-rate samples back to the
+// policy for the applications that ran.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"busaware/internal/machine"
+	"busaware/internal/perfctr"
+	"busaware/internal/sched"
+	"busaware/internal/trace"
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	// Machine is the simulated hardware; zero value selects the paper
+	// machine (DefaultConfig).
+	Machine machine.Config
+	// MaxTime caps simulated time as a runaway guard. Zero selects
+	// DefaultMaxTime.
+	MaxTime units.Time
+	// ManagerOverhead is extra solo-equivalent work charged to every
+	// placed thread each quantum, modelling the user-level CPU
+	// manager's sampling and signalling cost. Zero for kernel
+	// schedulers; the paper measured at most 4.5% for the manager.
+	ManagerOverhead units.Time
+	// Sampling selects how the CPU manager turns counter deltas into
+	// the per-thread bandwidth estimates the policies consume. See the
+	// SampleMode docs; the default is SampleRequirements.
+	Sampling SampleMode
+	// Timeline, when non-nil, records every placement for later
+	// rendering or Chrome-trace export.
+	Timeline *trace.Timeline
+}
+
+// SampleMode selects the bandwidth estimator fed to the policies.
+type SampleMode int
+
+const (
+	// SampleRequirements corrects the measured transaction rate for
+	// contention, estimating the application's bandwidth
+	// *requirements* — the paper's own term for the quantity the
+	// policies schedule on. On real hardware the correction factor is
+	// available from the same PMCs (bus stall cycles vs elapsed
+	// cycles). This is the default: with raw consumption feedback a
+	// saturated bus deflates every application's sample toward the
+	// same value and the fitness metric loses its discriminating
+	// power (see the SampleConsumption ablation in EXPERIMENTS.md).
+	SampleRequirements SampleMode = iota
+	// SampleConsumption feeds the raw measured rate (consumption,
+	// deflated under contention). Kept as an ablation.
+	SampleConsumption
+)
+
+// DefaultMaxTime bounds runs to 30 simulated minutes.
+const DefaultMaxTime = 30 * 60 * units.Second
+
+// AppResult is one application's outcome.
+type AppResult struct {
+	Instance string
+	Profile  string
+	// Turnaround is completion minus arrival (all apps arrive at 0).
+	Turnaround units.Time
+	// SoloTime is the profile's uncontended execution time.
+	SoloTime units.Time
+	// Slowdown is Turnaround / SoloTime.
+	Slowdown float64
+	// RunTime is the wall-clock time the app actually held processors.
+	RunTime units.Time
+	// MeanBusRate is the cumulative transaction rate achieved while
+	// running (all threads summed) — the Figure 1A quantity.
+	MeanBusRate units.Rate
+	// Transactions is the total bus transactions issued.
+	Transactions uint64
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Scheduler string
+	// Apps holds results for the finite applications, in input order.
+	Apps []AppResult
+	// EndTime is when the last finite application completed.
+	EndTime units.Time
+	Quanta  int
+	// Migrations and ContextSwitches are machine-wide totals.
+	Migrations      int
+	ContextSwitches int
+	// MeanBusUtilization averages the bus utilization over quanta.
+	MeanBusUtilization float64
+	// TimedOut reports the MaxTime guard fired before completion.
+	TimedOut bool
+}
+
+// MeanTurnaround returns the arithmetic mean turnaround of the finite
+// applications — the paper's headline metric ("the improvement in the
+// arithmetic mean of the execution times of both application
+// instances").
+func (r Result) MeanTurnaround() units.Time {
+	if len(r.Apps) == 0 {
+		return 0
+	}
+	var sum units.Time
+	for _, a := range r.Apps {
+		sum += a.Turnaround
+	}
+	return sum / units.Time(len(r.Apps))
+}
+
+// Run executes apps under s until every finite application completes.
+// Endless applications (the microbenchmarks) run for the duration and
+// are discarded at the end, exactly as the paper's workloads do.
+func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
+	if s == nil {
+		return Result{}, errors.New("sim: nil scheduler")
+	}
+	if len(apps) == 0 {
+		return Result{}, errors.New("sim: no applications")
+	}
+	if cfg.Machine.NumCPUs == 0 {
+		cfg.Machine = machine.DefaultConfig()
+	}
+	if cfg.MaxTime <= 0 {
+		cfg.MaxTime = DefaultMaxTime
+	}
+	m, err := machine.New(cfg.Machine)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Wire each application to the scheduler through a Job, and each
+	// thread to a perfctr monitor — the CPU manager's sampling path.
+	type appState struct {
+		app      *workload.App
+		job      *sched.Job
+		monitors []*perfctr.Monitor
+		runTime  units.Time
+		trans    uint64
+	}
+	states := make([]*appState, len(apps))
+	byApp := make(map[*workload.App]*appState, len(apps))
+	windowLen, ewmaAlpha := 1, 0.0
+	if ba, ok := s.(*sched.BandwidthAware); ok {
+		windowLen = ba.WindowLen()
+		if ba.Estimator() == sched.EstEWMA {
+			ewmaAlpha = 0.4
+		}
+	}
+	var pending []*appState
+	for i, app := range apps {
+		if app == nil {
+			return Result{}, fmt.Errorf("sim: nil app at index %d", i)
+		}
+		if app.Arrived < 0 {
+			return Result{}, fmt.Errorf("sim: app %s has negative arrival time", app.Instance)
+		}
+		st := &appState{app: app, job: sched.NewJob(app, windowLen, ewmaAlpha)}
+		for _, th := range app.Threads {
+			mon := perfctr.NewMonitor(&th.Counters)
+			// Prime the monitor with its time-zero baseline so the
+			// first quantum's transactions are not swallowed by
+			// baseline establishment.
+			mon.Poll(m.Now())
+			st.monitors = append(st.monitors, mon)
+		}
+		states[i] = st
+		byApp[app] = st
+		if app.Arrived == 0 {
+			s.Add(st.job)
+		} else {
+			// Dynamic arrival: the application connects to the
+			// scheduler when its arrival time passes, like a process
+			// connecting to the paper's CPU manager mid-run.
+			pending = append(pending, st)
+		}
+	}
+
+	res := Result{Scheduler: s.Name()}
+	quantum := s.Quantum()
+	if quantum <= 0 {
+		return Result{}, fmt.Errorf("sim: scheduler %s has non-positive quantum", s.Name())
+	}
+
+	remaining := 0
+	for _, st := range states {
+		if !st.app.Profile.Endless() {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		return Result{}, errors.New("sim: workload has no finite applications")
+	}
+
+	var utilSum float64
+	for remaining > 0 {
+		if m.Now() >= cfg.MaxTime {
+			res.TimedOut = true
+			break
+		}
+		// Admit newly arrived applications.
+		kept := pending[:0]
+		for _, st := range pending {
+			if st.app.Arrived <= m.Now() {
+				s.Add(st.job)
+			} else {
+				kept = append(kept, st)
+			}
+		}
+		pending = kept
+		placements := s.Schedule(m.Now(), m)
+		var step machine.StepResult
+		if len(placements) == 0 {
+			if err := m.Idle(quantum); err != nil {
+				return Result{}, err
+			}
+		} else {
+			// Charge the CPU-manager overhead before the quantum runs,
+			// so it is paid at the thread's contended speed.
+			if cfg.ManagerOverhead > 0 {
+				for _, p := range placements {
+					p.Thread.AddDebt(float64(cfg.ManagerOverhead))
+				}
+			}
+			step, err = m.Step(placements, quantum)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: quantum %d: %w", res.Quanta, err)
+			}
+		}
+		res.Quanta++
+		res.Migrations += step.Migrations
+		res.ContextSwitches += step.ContextSwitches
+		utilSum += step.MeanUtilization
+		if cfg.Timeline != nil && len(step.Threads) > 0 {
+			qStart := m.Now() - quantum
+			for _, ts := range step.Threads {
+				cfg.Timeline.Record(trace.Slice{
+					CPU:      ts.CPU,
+					Start:    qStart,
+					Duration: quantum,
+					Label:    fmt.Sprintf("%s/%d", ts.Thread.App.Instance, ts.Thread.Index),
+					Speed:    ts.Speed,
+					Migrated: ts.Migrated,
+				})
+			}
+			cfg.Timeline.RecordQuantum(trace.QuantumStat{
+				Start:       qStart,
+				Duration:    quantum,
+				Utilization: step.MeanUtilization,
+				Served:      step.MeanServed,
+			})
+		}
+
+		// Sampling: poll every thread of every app (resetting deltas),
+		// but only applications that ran this quantum contribute a
+		// bandwidth sample, per the paper's "updates the bus bandwidth
+		// consumption statistics for all running jobs".
+		ranThreads := make(map[*workload.App]int)
+		demandCum := make(map[*workload.App]float64)
+		for _, ts := range step.Threads {
+			ranThreads[ts.Thread.App]++
+			if ts.Speed > 0 {
+				// Contention-corrected requirement: consumption divided
+				// by the achieved speed fraction recovers the rate the
+				// thread would sustain uncontended.
+				demandCum[ts.Thread.App] += float64(ts.Rate) / ts.Speed
+			}
+		}
+		for _, st := range states {
+			var appTrans uint64
+			for ti := range st.app.Threads {
+				rates, ok := st.monitors[ti].Poll(m.Now())
+				if !ok {
+					continue
+				}
+				appTrans += uint64(rates[perfctr.EventBusTransAny] * float64(quantum))
+			}
+			if n := ranThreads[st.app]; n > 0 {
+				// BBW/thread: equipartition the application's bandwidth
+				// among its threads.
+				var cum units.Rate
+				switch cfg.Sampling {
+				case SampleConsumption:
+					cum = units.Rate(float64(appTrans) / float64(quantum))
+				default: // SampleRequirements
+					cum = units.Rate(demandCum[st.app])
+				}
+				st.job.PushSample(cum / units.Rate(n))
+				st.runTime += quantum
+				st.trans += appTrans
+			}
+		}
+
+		// Retire finished applications.
+		for _, st := range states {
+			if !st.app.Profile.Endless() && st.app.Done() && !st.app.IsMarkedCompleted() {
+				st.app.MarkCompleted(m.Now())
+				s.Remove(st.job)
+				remaining--
+			}
+		}
+	}
+	res.EndTime = m.Now()
+	if res.Quanta > 0 {
+		res.MeanBusUtilization = utilSum / float64(res.Quanta)
+	}
+
+	for _, st := range states {
+		if st.app.Profile.Endless() {
+			continue
+		}
+		ar := AppResult{
+			Instance:     st.app.Instance,
+			Profile:      st.app.Profile.Name,
+			Turnaround:   st.app.Turnaround(),
+			SoloTime:     st.app.Profile.SoloTime,
+			RunTime:      st.runTime,
+			Transactions: st.trans,
+		}
+		if ar.SoloTime > 0 && ar.Turnaround > 0 {
+			ar.Slowdown = float64(ar.Turnaround) / float64(ar.SoloTime)
+		}
+		if st.runTime > 0 {
+			ar.MeanBusRate = units.Rate(float64(st.trans) / float64(st.runTime))
+		}
+		res.Apps = append(res.Apps, ar)
+	}
+	return res, nil
+}
+
+// MicrobenchRates returns the mean cumulative bus rate achieved by the
+// given endless applications during a run window. It reruns nothing:
+// callers pass the apps after Run and it reads their counters.
+func MicrobenchRates(apps []*workload.App, elapsed units.Time) map[string]units.Rate {
+	out := make(map[string]units.Rate)
+	if elapsed <= 0 {
+		return out
+	}
+	for _, app := range apps {
+		var trans uint64
+		for _, th := range app.Threads {
+			trans += th.Counters.Read(perfctr.EventBusTransAny)
+		}
+		out[app.Instance] = units.Rate(float64(trans) / float64(elapsed))
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"busaware/internal/stats"
+)
+
+// A window of capacity 1 degenerates to "latest sample" — which is why
+// the Latest Quantum and Quanta Window policies share one
+// implementation.
+func ExampleWindow() {
+	w := stats.NewWindow(3)
+	for _, x := range []float64{2, 4, 6, 8} {
+		w.Push(x)
+	}
+	fmt.Println(w.Mean())   // mean of the last 3: (4+6+8)/3
+	fmt.Println(w.Latest()) // most recent sample
+	// Output:
+	// 6
+	// 8
+}

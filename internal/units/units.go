@@ -1,0 +1,101 @@
+// Package units provides the typed quantities used throughout the
+// simulator: simulated time in microseconds, byte counts, and bus
+// transaction rates.
+//
+// The paper's machine moves 64 bytes per bus transaction and sustains
+// 29.5 transactions/usec (measured with STREAM); those constants are
+// exported here so that every package that needs them agrees on the
+// calibration.
+package units
+
+import "fmt"
+
+// Time is simulated time in microseconds. The simulator is quantum
+// stepped, so Time only ever advances in multiples of the sampling
+// period, but sub-quantum arithmetic must still be exact; microsecond
+// integer resolution is ample for 100-200ms quanta.
+type Time int64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%dus", int64(t))
+	}
+}
+
+// Bytes is a byte count.
+type Bytes int64
+
+// Common sizes.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+)
+
+func (b Bytes) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// Rate is a bus transaction rate in transactions per microsecond. This
+// is the unit the paper reports everywhere (Figure 1A's y axis) and the
+// unit the scheduling policies compute with.
+type Rate float64
+
+// Machine calibration constants, from Section 3 of the paper.
+const (
+	// BytesPerTransaction is the payload of one front-side-bus
+	// transaction (one L2 line).
+	BytesPerTransaction Bytes = 64
+
+	// SustainedBusRate is the highest transaction rate sustained by
+	// STREAM with requests issued from all four processors.
+	SustainedBusRate Rate = 29.5
+
+	// PeakBusBandwidth is the theoretical peak of the 400MHz FSB.
+	PeakBusBandwidth Bytes = 3200 * MB / 1000 * 1000 // 3.2 GB/s
+
+	// SustainedBusBandwidth is STREAM's measured sustainable figure.
+	SustainedBusBandwidth Bytes = 1797 * MB
+)
+
+// MBPerSec converts a transaction rate to megabytes per second of bus
+// traffic (1 trans/usec * 64 B = 64 MB/s... strictly 61.04 MiB/s; the
+// paper mixes decimal and binary MB, we use decimal MB here as STREAM
+// does).
+func (r Rate) MBPerSec() float64 {
+	return float64(r) * float64(BytesPerTransaction) // bytes/usec == MB/s (decimal)
+}
+
+func (r Rate) String() string { return fmt.Sprintf("%.2f trans/us", float64(r)) }
+
+// RateFromMBPerSec converts decimal MB/s of bus traffic to trans/usec.
+func RateFromMBPerSec(mbps float64) Rate {
+	return Rate(mbps / float64(BytesPerTransaction))
+}

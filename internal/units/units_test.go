@@ -1,0 +1,77 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Second != 1_000_000*Microsecond {
+		t.Errorf("Second = %d us", int64(Second))
+	}
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Errorf("250ms = %v s", got)
+	}
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Errorf("1500us = %v ms", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tests := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Microsecond, "500us"},
+		{200 * Millisecond, "200.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", int64(tc.in), got, tc.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	tests := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{256 * KB, "256.00KB"},
+		{3 * MB / 2, "1.50MB"},
+		{2 * GB, "2.00GB"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(tc.in), got, tc.want)
+		}
+	}
+}
+
+func TestRateBandwidthRoundTrip(t *testing.T) {
+	// STREAM sustained 29.5 trans/us at 64 B each ~= 1888 MB/s decimal,
+	// consistent with the paper's 1797 MiB/s measurement to within the
+	// decimal/binary unit slack.
+	mbps := SustainedBusRate.MBPerSec()
+	if mbps < 1800 || mbps > 1950 {
+		t.Errorf("sustained rate = %.1f MB/s, outside sanity band", mbps)
+	}
+	back := RateFromMBPerSec(mbps)
+	if math.Abs(float64(back-SustainedBusRate)) > 1e-9 {
+		t.Errorf("round trip %v -> %v", SustainedBusRate, back)
+	}
+}
+
+func TestCalibrationConstants(t *testing.T) {
+	if BytesPerTransaction != 64 {
+		t.Errorf("BytesPerTransaction = %d", int64(BytesPerTransaction))
+	}
+	// The paper: ~64 bytes per transaction derived from 1797 MB/s at
+	// 29.5 trans/us. Check the derivation is self-consistent within 10%.
+	derived := float64(SustainedBusBandwidth) / 1e6 / float64(SustainedBusRate)
+	if derived < 55 || derived > 70 {
+		t.Errorf("derived bytes/transaction = %.1f, want ~64", derived)
+	}
+}
