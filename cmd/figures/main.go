@@ -1,10 +1,12 @@
 // Command figures regenerates every table and figure of the paper's
 // evaluation on the simulated machine and renders them as aligned
-// text tables (optionally CSV).
+// text tables (optionally CSV). Independent simulation cells fan out
+// across a bounded worker pool (-workers); the output is identical at
+// any worker count.
 //
 // Usage:
 //
-//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling] [-csv]
+//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling] [-csv] [-workers N] [-runstats]
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"busaware"
 	"busaware/internal/report"
@@ -21,9 +24,16 @@ func main() {
 	fig := flag.String("fig", "all", "which artifact to regenerate: all, cal, hit, 1a, 1b, 2a, 2b, 2c, ablw, ablq, ovh, zoo, sampling, robust, servers, smt")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	app := flag.String("app", "BT", "application for the scheduler-zoo comparison")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	runstats := flag.Bool("runstats", false, "print run-level metrics (per-batch wall time, simulated quanta, bus utilization, worker occupancy) after the figures")
 	flag.Parse()
 
-	opt := busaware.ExperimentOptions{}
+	opt := busaware.ExperimentOptions{Workers: *workers}
+	var metrics *busaware.RunMetrics
+	if *runstats {
+		metrics = busaware.NewRunMetrics()
+		opt.Metrics = metrics
+	}
 	emit := func(t *report.Table) {
 		if *csv {
 			fmt.Print(t.CSV())
@@ -31,6 +41,11 @@ func main() {
 			fmt.Println(t.String())
 		}
 	}
+	defer func() {
+		if metrics != nil {
+			emit(runstatsTable(metrics))
+		}
+	}()
 
 	run := map[string]func() error{
 		"cal": func() error { return calibration(opt, emit) },
@@ -81,6 +96,30 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "figures:", err)
 	os.Exit(1)
+}
+
+// runstatsTable renders the run-level metrics the parallel runner
+// collected: one row per batch plus the sweep total.
+func runstatsTable(m *busaware.RunMetrics) *report.Table {
+	t := report.NewTable("Run-level metrics (parallel experiment runner)",
+		"Batch", "Cells", "Workers", "Peak", "Wall", "CellWall", "Quanta", "SimTime", "BusUtil", "Speedup")
+	for _, b := range m.Batches() {
+		r := b.Report
+		t.AddRowf(b.Name, fmt.Sprint(len(r.Cells)), fmt.Sprint(r.Workers),
+			fmt.Sprint(r.PeakOccupancy),
+			r.Wall.Round(time.Millisecond).String(),
+			r.CellWall().Round(time.Millisecond).String(),
+			fmt.Sprint(r.TotalQuanta()), r.TotalSimTime().String(),
+			r.MeanBusUtilization(), r.Speedup())
+	}
+	tot := m.Total()
+	t.AddRowf("TOTAL", fmt.Sprint(tot.Cells), fmt.Sprint(tot.Workers),
+		fmt.Sprint(tot.PeakOccupancy),
+		tot.Wall.Round(time.Millisecond).String(),
+		tot.CellWall.Round(time.Millisecond).String(),
+		fmt.Sprint(tot.Quanta), tot.SimTime.String(),
+		tot.BusUtilization, tot.Speedup())
+	return t
 }
 
 func calibration(opt busaware.ExperimentOptions, emit func(*report.Table)) error {

@@ -2,6 +2,7 @@ package busaware
 
 import (
 	"busaware/internal/experiments"
+	"busaware/internal/runner"
 	"busaware/internal/units"
 )
 
@@ -43,6 +44,26 @@ type (
 	// (extension).
 	SMTRow = experiments.SMTRow
 )
+
+// Run-level metrics types of the parallel experiment runner; see
+// internal/runner for the field-level documentation.
+type (
+	// RunMetrics accumulates per-batch runner reports across a sweep.
+	// Set ExperimentOptions.Metrics to one to collect; read it back
+	// with Batches and Total.
+	RunMetrics = runner.Metrics
+	// RunBatch is one named batch report observed by a RunMetrics.
+	RunBatch = runner.Batch
+	// RunReport is the run-level observability of one batch: per-cell
+	// wall time, simulated quanta, bus utilization and worker
+	// occupancy.
+	RunReport = runner.Report
+	// RunTotal aggregates every observed batch of a sweep.
+	RunTotal = runner.Total
+)
+
+// NewRunMetrics returns an empty run-level metrics accumulator.
+func NewRunMetrics() *RunMetrics { return runner.NewMetrics() }
 
 // Workload sets of the paper's Section 5 (Figure 2 panels).
 const (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"busaware/internal/runner"
 	"busaware/internal/sched"
 	"busaware/internal/sim"
 	"busaware/internal/stats"
@@ -66,11 +67,33 @@ func WindowAblation(opt Options, windows []int) ([]WindowAblationRow, error) {
 	series := demandSeries(rt, sched.DefaultQuantum, 200)
 	mean := stats.Mean(series)
 
-	var rows []WindowAblationRow
+	// The Linux baseline is window-independent; the per-window policy
+	// runs are independent of each other, so they fan out as one batch.
+	var cells []runner.Cell
 	for _, w := range windows {
 		if w < 1 {
 			return nil, fmt.Errorf("experiments: window %d", w)
 		}
+		policy := sched.NewQuantaWindow(opt.machine().NumCPUs, opt.capacity(),
+			append([]sched.Option{sched.WithWindow(w)}, opt.PolicyOpts...)...)
+		cells = append(cells, runner.Cell{
+			Label:     fmt.Sprintf("ablw/W%d", w),
+			Config:    opt.simConfig(),
+			Scheduler: policy,
+			Apps:      buildSet(rt, SetNBBMA),
+		})
+	}
+	linux, err := meanLinuxTurnaround(opt, rt, SetNBBMA)
+	if err != nil {
+		return nil, err
+	}
+	results, err := opt.runCells("ablation/window", cells)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []WindowAblationRow
+	for i, w := range windows {
 		win := stats.NewWindow(w)
 		var dist float64
 		var estimates []float64
@@ -80,24 +103,12 @@ func WindowAblation(opt Options, windows []int) ([]WindowAblationRow, error) {
 			dist += math.Abs(x - est)
 			estimates = append(estimates, est)
 		}
-		row := WindowAblationRow{
-			Window:           w,
-			TrackingDistance: dist / float64(len(series)) / mean,
-			EstimateStdDev:   stats.StdDev(estimates),
-		}
-
-		linux, err := meanLinuxTurnaround(opt, rt, SetNBBMA)
-		if err != nil {
-			return nil, err
-		}
-		policy := sched.NewQuantaWindow(opt.machine().NumCPUs, opt.capacity(),
-			append([]sched.Option{sched.WithWindow(w)}, opt.PolicyOpts...)...)
-		res, err := sim.Run(opt.simConfig(), policy, buildSet(rt, SetNBBMA))
-		if err != nil {
-			return nil, err
-		}
-		row.RaytraceImprovement = improvement(linux, res.MeanTurnaround())
-		rows = append(rows, row)
+		rows = append(rows, WindowAblationRow{
+			Window:              w,
+			TrackingDistance:    dist / float64(len(series)) / mean,
+			EstimateStdDev:      stats.StdDev(estimates),
+			RaytraceImprovement: improvement(linux, results[i].MeanTurnaround()),
+		})
 	}
 	return rows, nil
 }
@@ -125,21 +136,31 @@ func QuantumAblation(opt Options, quanta []units.Time) ([]QuantumAblationRow, er
 	if !ok {
 		return nil, fmt.Errorf("experiments: BT missing from registry")
 	}
-	linux, err := meanLinuxTurnaround(opt, bt, SetMixed)
-	if err != nil {
-		return nil, err
-	}
-	var rows []QuantumAblationRow
+	var cells []runner.Cell
 	for _, q := range quanta {
 		if q <= 0 {
 			return nil, fmt.Errorf("experiments: quantum %v", q)
 		}
 		policy := sched.NewQuantaWindow(opt.machine().NumCPUs, opt.capacity(),
 			append([]sched.Option{sched.WithQuantum(q)}, opt.PolicyOpts...)...)
-		res, err := sim.Run(opt.simConfig(), policy, buildSet(bt, SetMixed))
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, runner.Cell{
+			Label:     fmt.Sprintf("ablq/%s", q),
+			Config:    opt.simConfig(),
+			Scheduler: policy,
+			Apps:      buildSet(bt, SetMixed),
+		})
+	}
+	linux, err := meanLinuxTurnaround(opt, bt, SetMixed)
+	if err != nil {
+		return nil, err
+	}
+	results, err := opt.runCells("ablation/quantum", cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []QuantumAblationRow
+	for i, q := range quanta {
+		res := results[i]
 		secs := res.EndTime.Seconds()
 		if secs <= 0 {
 			secs = 1
@@ -186,19 +207,28 @@ func ManagerOverhead(opt Options, perQuantum units.Time) (OverheadResult, error)
 	}
 	ncpu := opt.machine().NumCPUs
 	cap := opt.capacity()
-	free, err := sim.Run(opt.simConfig(), sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), build())
-	if err != nil {
-		return OverheadResult{}, err
-	}
-	cfg := opt.simConfig()
-	cfg.ManagerOverhead = perQuantum
-	loaded, err := sim.Run(cfg, sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), build())
+	managed := opt.simConfig()
+	managed.ManagerOverhead = perQuantum
+	results, err := opt.runCells("overhead", []runner.Cell{
+		{
+			Label:     "overhead/unmanaged",
+			Config:    opt.simConfig(),
+			Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
+			Apps:      build(),
+		},
+		{
+			Label:     "overhead/managed",
+			Config:    managed,
+			Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
+			Apps:      build(),
+		},
+	})
 	if err != nil {
 		return OverheadResult{}, err
 	}
 	out := OverheadResult{
-		BaselineTurnaround: free.MeanTurnaround(),
-		ManagedTurnaround:  loaded.MeanTurnaround(),
+		BaselineTurnaround: results[0].MeanTurnaround(),
+		ManagedTurnaround:  results[1].MeanTurnaround(),
 	}
 	if out.BaselineTurnaround > 0 {
 		out.OverheadPercent = float64(out.ManagedTurnaround-out.BaselineTurnaround) /
@@ -243,12 +273,22 @@ func SchedulerZoo(opt Options, appName string) ([]ZooRow, error) {
 		sched.NewOracle(ncpu, cap, opt.PolicyOpts...),
 		optimal,
 	}
-	rows := []ZooRow{{Scheduler: "Linux", MeanTurnaround: linux, ImprovementVsLinux: 0}}
+	var cells []runner.Cell
 	for _, s := range scheds {
-		res, err := sim.Run(opt.simConfig(), s, buildSet(p, SetMixed))
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, runner.Cell{
+			Label:     fmt.Sprintf("zoo/%s", s.Name()),
+			Config:    opt.simConfig(),
+			Scheduler: s,
+			Apps:      buildSet(p, SetMixed),
+		})
+	}
+	results, err := opt.runCells("zoo", cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := []ZooRow{{Scheduler: "Linux", MeanTurnaround: linux, ImprovementVsLinux: 0}}
+	for i, s := range scheds {
+		res := results[i]
 		if res.TimedOut {
 			return nil, fmt.Errorf("experiments: %s timed out in zoo", s.Name())
 		}
@@ -279,44 +319,64 @@ func SamplingAblation(opt Options, appNames []string) ([]SamplingAblationRow, er
 	if len(appNames) == 0 {
 		appNames = []string{"Radiosity", "BT", "CG"}
 	}
-	var rows []SamplingAblationRow
 	ncpu := opt.machine().NumCPUs
 	cap := opt.capacity()
-	for _, name := range appNames {
+	profiles := make([]workload.Profile, len(appNames))
+	var cells []runner.Cell
+	for i, name := range appNames {
 		p, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown application %q", name)
 		}
-		linux, err := meanLinuxTurnaround(opt, p, SetBBMA)
-		if err != nil {
-			return nil, err
-		}
-		row := SamplingAblationRow{App: name}
+		profiles[i] = p
 
-		cfg := opt.simConfig()
-		cfg.Sampling = sim.SampleRequirements
-		res, err := sim.Run(cfg, sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), buildSet(p, SetBBMA))
-		if err != nil {
-			return nil, err
-		}
-		row.RequirementsImprovement = improvement(linux, res.MeanTurnaround())
-
-		cfg.Sampling = sim.SampleConsumption
-		res, err = sim.Run(cfg, sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), buildSet(p, SetBBMA))
-		if err != nil {
-			return nil, err
-		}
-		row.ConsumptionImprovement = improvement(linux, res.MeanTurnaround())
-
-		cfg.Sampling = sim.SampleRequirements
+		reqCfg := opt.simConfig()
+		reqCfg.Sampling = sim.SampleRequirements
+		consCfg := opt.simConfig()
+		consCfg.Sampling = sim.SampleConsumption
 		guarded := sched.NewQuantaWindow(ncpu, cap,
 			append([]sched.Option{sched.WithSaturationGuard()}, opt.PolicyOpts...)...)
-		res, err = sim.Run(cfg, guarded, buildSet(p, SetBBMA))
+
+		cells = append(cells, linuxCells(opt, p, SetBBMA)...)
+		cells = append(cells,
+			runner.Cell{
+				Label:     fmt.Sprintf("sampling/%s/requirements", name),
+				Config:    reqCfg,
+				Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
+				Apps:      buildSet(p, SetBBMA),
+			},
+			runner.Cell{
+				Label:     fmt.Sprintf("sampling/%s/consumption", name),
+				Config:    consCfg,
+				Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
+				Apps:      buildSet(p, SetBBMA),
+			},
+			runner.Cell{
+				Label:     fmt.Sprintf("sampling/%s/guarded", name),
+				Config:    reqCfg,
+				Scheduler: guarded,
+				Apps:      buildSet(p, SetBBMA),
+			})
+	}
+	results, err := opt.runCells("ablation/sampling", cells)
+	if err != nil {
+		return nil, err
+	}
+	per := len(opt.seeds()) + 3
+	var rows []SamplingAblationRow
+	for i, p := range profiles {
+		chunk := results[i*per : (i+1)*per]
+		linux, err := meanLinuxFromResults(p, SetBBMA, chunk[:len(opt.seeds())])
 		if err != nil {
 			return nil, err
 		}
-		row.GuardedImprovement = improvement(linux, res.MeanTurnaround())
-		rows = append(rows, row)
+		policy := chunk[len(opt.seeds()):]
+		rows = append(rows, SamplingAblationRow{
+			App:                     p.Name,
+			RequirementsImprovement: improvement(linux, policy[0].MeanTurnaround()),
+			ConsumptionImprovement:  improvement(linux, policy[1].MeanTurnaround()),
+			GuardedImprovement:      improvement(linux, policy[2].MeanTurnaround()),
+		})
 	}
 	return rows, nil
 }

@@ -5,8 +5,8 @@ import (
 
 	"busaware/internal/cache"
 	"busaware/internal/mem"
+	"busaware/internal/runner"
 	"busaware/internal/sched"
-	"busaware/internal/sim"
 	"busaware/internal/units"
 	"busaware/internal/workload"
 )
@@ -28,13 +28,20 @@ type CalibrationResult struct {
 	PeakMBps float64
 }
 
-// Calibrate runs the simulated STREAM calibration.
+// Calibrate runs the simulated STREAM calibration. The single run
+// goes through the runner too, so metrics collection covers the whole
+// sweep uniformly.
 func Calibrate(opt Options) (CalibrationResult, error) {
-	apps := []*workload.App{workload.NewApp(workload.STREAM(), "STREAM#1")}
-	res, err := sim.Run(opt.simConfig(), sched.NewGang(opt.machine().NumCPUs), apps)
+	results, err := opt.runCells("calibration", []runner.Cell{{
+		Label:     "cal/STREAM",
+		Config:    opt.simConfig(),
+		Scheduler: sched.NewGang(opt.machine().NumCPUs),
+		Apps:      []*workload.App{workload.NewApp(workload.STREAM(), "STREAM#1")},
+	}})
 	if err != nil {
 		return CalibrationResult{}, err
 	}
+	res := results[0]
 	if res.TimedOut {
 		return CalibrationResult{}, fmt.Errorf("experiments: STREAM calibration timed out")
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"busaware/internal/machine"
+	"busaware/internal/runner"
 	"busaware/internal/sched"
 	"busaware/internal/sim"
 	"busaware/internal/units"
@@ -27,6 +28,16 @@ type Options struct {
 	Sampling sim.SampleMode
 	// PolicyOpts are applied to every bandwidth-aware policy built.
 	PolicyOpts []sched.Option
+	// Workers bounds the parallel runner's worker pool. Zero selects
+	// GOMAXPROCS; 1 forces serial execution. Every cell carries its
+	// own seed, scheduler and freshly built workload, and aggregation
+	// happens in submission order, so results are identical at any
+	// setting.
+	Workers int
+	// Metrics, when non-nil, accumulates run-level metrics (per-cell
+	// wall time, simulated quanta, bus utilization, worker occupancy)
+	// for every batch of simulations submitted through the runner.
+	Metrics *runner.Metrics
 }
 
 // DefaultLinuxSeeds gives the baseline three runs to average over,
@@ -109,22 +120,54 @@ func buildSet(app workload.Profile, set WorkloadSet) []*workload.App {
 	return apps
 }
 
-// meanLinuxTurnaround runs the workload under the Linux baseline for
-// each seed and returns the mean of the per-run mean turnarounds.
-func meanLinuxTurnaround(opt Options, app workload.Profile, set WorkloadSet) (units.Time, error) {
+// runCells fans a batch of independent cells out through the parallel
+// runner, records its report under name when metrics collection is on,
+// and returns the results in submission order.
+func (o Options) runCells(name string, cells []runner.Cell) ([]sim.Result, error) {
+	results, rep, err := runner.Run(o.Workers, cells)
+	if o.Metrics != nil {
+		o.Metrics.Observe(name, rep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// linuxCells builds one baseline cell per seed for the workload.
+func linuxCells(opt Options, app workload.Profile, set WorkloadSet) []runner.Cell {
+	var cells []runner.Cell
+	for _, seed := range opt.seeds() {
+		cells = append(cells, runner.Cell{
+			Label:     fmt.Sprintf("linux/%s/%s/seed%d", app.Name, set, seed),
+			Config:    opt.simConfig(),
+			Scheduler: sched.NewLinux(opt.machine().NumCPUs, seed),
+			Apps:      buildSet(app, set),
+		})
+	}
+	return cells
+}
+
+// meanLinuxFromResults averages the per-seed baseline runs.
+func meanLinuxFromResults(app workload.Profile, set WorkloadSet, results []sim.Result) (units.Time, error) {
 	var sum units.Time
-	seeds := opt.seeds()
-	for _, seed := range seeds {
-		res, err := sim.Run(opt.simConfig(), sched.NewLinux(opt.machine().NumCPUs, seed), buildSet(app, set))
-		if err != nil {
-			return 0, err
-		}
+	for _, res := range results {
 		if res.TimedOut {
 			return 0, fmt.Errorf("experiments: Linux run timed out for %s/%s", app.Name, set)
 		}
 		sum += res.MeanTurnaround()
 	}
-	return sum / units.Time(len(seeds)), nil
+	return sum / units.Time(len(results)), nil
+}
+
+// meanLinuxTurnaround runs the workload under the Linux baseline for
+// each seed and returns the mean of the per-run mean turnarounds.
+func meanLinuxTurnaround(opt Options, app workload.Profile, set WorkloadSet) (units.Time, error) {
+	results, err := opt.runCells(fmt.Sprintf("linux/%s/%s", app.Name, set), linuxCells(opt, app, set))
+	if err != nil {
+		return 0, err
+	}
+	return meanLinuxFromResults(app, set, results)
 }
 
 // improvement returns the paper's metric: percentage reduction of the

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 
+	"busaware/internal/runner"
 	"busaware/internal/units"
 	"busaware/internal/workload"
 )
@@ -245,6 +247,86 @@ func TestSamplingAblation(t *testing.T) {
 	}
 	if _, err := SamplingAblation(Options{}, []string{"NoSuchApp"}); err == nil {
 		t.Error("unknown app accepted")
+	}
+}
+
+// TestFigureSweepDeterminism is the parallel runner's acceptance
+// gate: the figure sweep must produce identical rows under serial
+// execution (Workers: 1) and a saturated worker pool. Every cell
+// carries its own seed, scheduler and freshly built workload, so
+// completion order cannot leak into the output.
+func TestFigureSweepDeterminism(t *testing.T) {
+	serial := Options{Workers: 1, LinuxSeeds: []int64{1}}
+	parallel := Options{Workers: 8, LinuxSeeds: []int64{1}}
+
+	f1s, err := Figure1(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1p, err := Figure1(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1s, f1p) {
+		t.Error("Figure 1 rows differ between serial and parallel execution")
+	}
+
+	f2s, err := Figure2(SetMixed, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2p, err := Figure2(SetMixed, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f2s, f2p) {
+		t.Error("Figure 2C rows differ between serial and parallel execution")
+	}
+}
+
+// TestSweepMetrics checks the run-level metrics layer: every batch an
+// experiment submits is observed, and the totals add up across
+// batches.
+func TestSweepMetrics(t *testing.T) {
+	m := runner.NewMetrics()
+	opt := Options{LinuxSeeds: []int64{1}, Metrics: m}
+	if _, err := Calibrate(opt); err != nil {
+		t.Fatal(err)
+	}
+	bt, ok := workload.ByName("BT")
+	if !ok {
+		t.Fatal("BT missing from registry")
+	}
+	if _, err := Figure2App(SetMixed, opt, bt); err != nil {
+		t.Fatal(err)
+	}
+	batches := m.Batches()
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2 (calibration + figure2 cell batch)", len(batches))
+	}
+	if batches[0].Name != "calibration" {
+		t.Errorf("first batch = %q", batches[0].Name)
+	}
+	// BT panel batch: 1 Linux seed + LQ + QW = 3 cells.
+	if got := len(batches[1].Report.Cells); got != 3 {
+		t.Errorf("figure2 batch cells = %d, want 3", got)
+	}
+	tot := m.Total()
+	if tot.Cells != 4 || tot.Failed != 0 {
+		t.Errorf("totals: %+v", tot)
+	}
+	if tot.Quanta <= 0 || tot.SimTime <= 0 || tot.CellWall <= 0 {
+		t.Errorf("metrics did not accumulate: %+v", tot)
+	}
+	sum := 0
+	for _, b := range batches {
+		sum += b.Report.TotalQuanta()
+	}
+	if sum != tot.Quanta {
+		t.Errorf("quanta totals do not add up: %d vs %d", sum, tot.Quanta)
+	}
+	if tot.BusUtilization <= 0 || tot.BusUtilization > 1 {
+		t.Errorf("bus utilization = %v", tot.BusUtilization)
 	}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"busaware/internal/runner"
 	"busaware/internal/sched"
 	"busaware/internal/sim"
 	"busaware/internal/units"
@@ -27,11 +28,22 @@ type ServerRow struct {
 }
 
 // ServerWorkloads runs the web-server and database profiles through
-// the mixed antagonist set, exactly like a Figure 2C panel.
+// the mixed antagonist set, exactly like a Figure 2C panel. Both
+// profiles' cells fan out through the runner as one batch.
 func ServerWorkloads(opt Options) ([]ServerRow, error) {
+	profiles := workload.ServerProfiles()
+	var cells []runner.Cell
+	for _, p := range profiles {
+		cells = append(cells, figure2Cells(SetMixed, opt, p)...)
+	}
+	results, err := opt.runCells("servers", cells)
+	if err != nil {
+		return nil, err
+	}
+	per := len(opt.seeds()) + 2
 	var rows []ServerRow
-	for _, p := range workload.ServerProfiles() {
-		f2, err := Figure2App(SetMixed, opt, p)
+	for i, p := range profiles {
+		f2, err := figure2Row(SetMixed, opt, p, results[i*per:(i+1)*per])
 		if err != nil {
 			return nil, err
 		}
@@ -96,14 +108,11 @@ func SMTStudy(opt Options) ([]SMTRow, error) {
 		}
 	}
 
-	var rows []SMTRow
-	for _, name := range []string{"Linux", "QuantaWindow"} {
+	policies := []string{"Linux", "QuantaWindow"}
+	var cells []runner.Cell
+	for _, name := range policies {
 		offCfg := sim.Config{Machine: off, Sampling: opt.Sampling}
 		sOff, err := mkPolicy(name, offCfg, off.NumCPUs)
-		if err != nil {
-			return nil, err
-		}
-		resOff, err := sim.Run(offCfg, sOff, build(1))
 		if err != nil {
 			return nil, err
 		}
@@ -112,10 +121,17 @@ func SMTStudy(opt Options) ([]SMTRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		resOn, err := sim.Run(onCfg, sOn, build(2))
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells,
+			runner.Cell{Label: "smt/" + name + "/off", Config: offCfg, Scheduler: sOff, Apps: build(1)},
+			runner.Cell{Label: "smt/" + name + "/on", Config: onCfg, Scheduler: sOn, Apps: build(2)})
+	}
+	results, err := opt.runCells("smt", cells)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SMTRow
+	for i, name := range policies {
+		resOff, resOn := results[i*2], results[i*2+1]
 		if resOff.TimedOut || resOn.TimedOut {
 			return nil, fmt.Errorf("experiments: SMT run timed out under %s", name)
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"busaware/internal/runner"
 	"busaware/internal/sched"
 	"busaware/internal/sim"
 	"busaware/internal/units"
@@ -30,12 +31,28 @@ type Fig1Row struct {
 	WithNBBMASlowdown float64
 }
 
+// fig1CellsPerApp is the number of Figure 1 configurations per
+// application: solo, two instances, +2 BBMA, +2 nBBMA.
+const fig1CellsPerApp = 4
+
 // Figure1 reproduces Figure 1 (both panels) for the eleven paper
-// applications, in increasing solo-rate order.
+// applications, in increasing solo-rate order. All 44 configuration
+// cells are independent, so they fan out through the parallel runner
+// as one batch.
 func Figure1(opt Options) ([]Fig1Row, error) {
+	apps := workload.PaperApps()
+	var cells []runner.Cell
+	for _, p := range apps {
+		cells = append(cells, figure1Cells(opt, p)...)
+	}
+	results, err := opt.runCells("figure1", cells)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig1Row
-	for _, p := range workload.PaperApps() {
-		row, err := figure1Row(opt, p)
+	for i, p := range apps {
+		lo, hi := i*fig1CellsPerApp, (i+1)*fig1CellsPerApp
+		row, err := figure1Row(p, cells[lo:hi], results[lo:hi])
 		if err != nil {
 			return nil, err
 		}
@@ -44,77 +61,82 @@ func Figure1(opt Options) ([]Fig1Row, error) {
 	return rows, nil
 }
 
-// figure1Row measures one application across the four configurations.
-func figure1Row(opt Options, p workload.Profile) (Fig1Row, error) {
+// figure1Cells builds one application's four dedicated-machine cells.
+// Gang first-fit on a dedicated machine runs every thread every
+// quantum in all four configurations: no processor sharing, as in the
+// paper's Section 3 setup.
+func figure1Cells(opt Options, p workload.Profile) []runner.Cell {
+	mk := func(cfg string, apps []*workload.App) runner.Cell {
+		return runner.Cell{
+			Label:     fmt.Sprintf("fig1/%s/%s", p.Name, cfg),
+			Config:    opt.simConfig(),
+			Scheduler: sched.NewGang(opt.machine().NumCPUs),
+			Apps:      apps,
+		}
+	}
+	return []runner.Cell{
+		mk("solo", []*workload.App{workload.NewApp(p, p.Name+"#1")}),
+		mk("2apps", []*workload.App{
+			workload.NewApp(p, p.Name+"#1"), workload.NewApp(p, p.Name+"#2"),
+		}),
+		mk("2bbma", []*workload.App{
+			workload.NewApp(p, p.Name+"#1"),
+			workload.NewApp(workload.BBMA(), "BBMA#1"),
+			workload.NewApp(workload.BBMA(), "BBMA#2"),
+		}),
+		mk("2nbbma", []*workload.App{
+			workload.NewApp(p, p.Name+"#1"),
+			workload.NewApp(workload.NBBMA(), "nBBMA#1"),
+			workload.NewApp(workload.NBBMA(), "nBBMA#2"),
+		}),
+	}
+}
+
+// figure1Row assembles one application's row from its four cells, in
+// the order figure1Cells submitted them.
+func figure1Row(p workload.Profile, cells []runner.Cell, results []sim.Result) (Fig1Row, error) {
 	row := Fig1Row{App: p.Name}
-
-	// Gang first-fit on a dedicated machine runs every thread every
-	// quantum in all four configurations: no processor sharing, as in
-	// the paper's Section 3 setup.
-	dedicated := func(apps []*workload.App) (sim.Result, units.Rate, error) {
-		res, err := sim.Run(opt.simConfig(), sched.NewGang(opt.machine().NumCPUs), apps)
-		if err != nil {
-			return res, 0, err
-		}
+	for _, res := range results {
 		if res.TimedOut {
-			return res, 0, fmt.Errorf("experiments: fig1 run timed out for %s", p.Name)
+			return row, fmt.Errorf("experiments: fig1 run timed out for %s", p.Name)
 		}
-		// Cumulative rate: the finite apps' mean rates plus the
-		// microbenchmarks' transactions over the run.
-		var cum units.Rate
-		for _, a := range res.Apps {
-			cum += a.MeanBusRate
-		}
-		var micro []*workload.App
-		for _, a := range apps {
-			if a.Profile.Endless() {
-				micro = append(micro, a)
-			}
-		}
-		for _, r := range sim.MicrobenchRates(micro, res.EndTime) {
-			cum += r
-		}
-		return res, cum, nil
 	}
-
-	solo, soloRate, err := dedicated([]*workload.App{workload.NewApp(p, p.Name+"#1")})
-	if err != nil {
-		return row, err
-	}
-	row.SoloRate = soloRate
+	solo := results[0]
+	row.SoloRate = cumulativeRate(solo, cells[0].Apps)
 	soloT := solo.Apps[0].Turnaround
 
-	two, twoRate, err := dedicated([]*workload.App{
-		workload.NewApp(p, p.Name+"#1"), workload.NewApp(p, p.Name+"#2"),
-	})
-	if err != nil {
-		return row, err
-	}
-	row.TwoAppsRate = twoRate
-	row.TwoAppsSlowdown = meanSlowdown(two, soloT)
+	row.TwoAppsRate = cumulativeRate(results[1], cells[1].Apps)
+	row.TwoAppsSlowdown = meanSlowdown(results[1], soloT)
 
-	bbma, bbmaRate, err := dedicated([]*workload.App{
-		workload.NewApp(p, p.Name+"#1"),
-		workload.NewApp(workload.BBMA(), "BBMA#1"),
-		workload.NewApp(workload.BBMA(), "BBMA#2"),
-	})
-	if err != nil {
-		return row, err
-	}
-	row.WithBBMARate = bbmaRate
-	row.WithBBMASlowdown = meanSlowdown(bbma, soloT)
+	row.WithBBMARate = cumulativeRate(results[2], cells[2].Apps)
+	row.WithBBMASlowdown = meanSlowdown(results[2], soloT)
 
-	nbbma, nbbmaRate, err := dedicated([]*workload.App{
-		workload.NewApp(p, p.Name+"#1"),
-		workload.NewApp(workload.NBBMA(), "nBBMA#1"),
-		workload.NewApp(workload.NBBMA(), "nBBMA#2"),
-	})
-	if err != nil {
-		return row, err
-	}
-	row.WithNBBMARate = nbbmaRate
-	row.WithNBBMASlowdown = meanSlowdown(nbbma, soloT)
+	row.WithNBBMARate = cumulativeRate(results[3], cells[3].Apps)
+	row.WithNBBMASlowdown = meanSlowdown(results[3], soloT)
 	return row, nil
+}
+
+// cumulativeRate is the workload's cumulative bus transaction rate:
+// the finite apps' mean rates plus the microbenchmarks' transactions
+// over the run. The microbenchmark contributions are summed in app
+// submission order, not map order, so the float accumulation is
+// bit-for-bit reproducible.
+func cumulativeRate(res sim.Result, apps []*workload.App) units.Rate {
+	var cum units.Rate
+	for _, a := range res.Apps {
+		cum += a.MeanBusRate
+	}
+	var micro []*workload.App
+	for _, a := range apps {
+		if a.Profile.Endless() {
+			micro = append(micro, a)
+		}
+	}
+	rates := sim.MicrobenchRates(micro, res.EndTime)
+	for _, a := range micro {
+		cum += rates[a.Instance]
+	}
+	return cum
 }
 
 // meanSlowdown averages the instances' turnarounds against the solo

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"busaware/internal/runner"
 	"busaware/internal/sched"
 	"busaware/internal/sim"
 	"busaware/internal/units"
@@ -26,11 +27,24 @@ type Fig2Row struct {
 }
 
 // Figure2 reproduces one panel of Figure 2 (A: SetBBMA, B: SetNBBMA,
-// C: SetMixed) across the eleven applications.
+// C: SetMixed) across the eleven applications. Every cell of the
+// panel — per-seed Linux baselines plus both policies for each
+// application — is independent, so the whole grid fans out through
+// the parallel runner in a single batch.
 func Figure2(set WorkloadSet, opt Options) ([]Fig2Row, error) {
+	apps := workload.PaperApps()
+	var cells []runner.Cell
+	for _, p := range apps {
+		cells = append(cells, figure2Cells(set, opt, p)...)
+	}
+	results, err := opt.runCells(fmt.Sprintf("figure2/%s", set), cells)
+	if err != nil {
+		return nil, err
+	}
+	per := len(opt.seeds()) + 2
 	var rows []Fig2Row
-	for _, p := range workload.PaperApps() {
-		row, err := Figure2App(set, opt, p)
+	for i, p := range apps {
+		row, err := figure2Row(set, opt, p, results[i*per:(i+1)*per])
 		if err != nil {
 			return nil, err
 		}
@@ -41,24 +55,45 @@ func Figure2(set WorkloadSet, opt Options) ([]Fig2Row, error) {
 
 // Figure2App measures a single application in one panel.
 func Figure2App(set WorkloadSet, opt Options, p workload.Profile) (Fig2Row, error) {
+	results, err := opt.runCells(fmt.Sprintf("figure2/%s/%s", set, p.Name), figure2Cells(set, opt, p))
+	if err != nil {
+		return Fig2Row{App: p.Name}, err
+	}
+	return figure2Row(set, opt, p, results)
+}
+
+// figure2Cells builds one application's panel cells: the per-seed
+// Linux baselines followed by Latest Quantum and Quanta Window.
+func figure2Cells(set WorkloadSet, opt Options, p workload.Profile) []runner.Cell {
+	ncpu := opt.machine().NumCPUs
+	cap := opt.capacity()
+	cells := linuxCells(opt, p, set)
+	return append(cells,
+		runner.Cell{
+			Label:     fmt.Sprintf("LQ/%s/%s", p.Name, set),
+			Config:    opt.simConfig(),
+			Scheduler: sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...),
+			Apps:      buildSet(p, set),
+		},
+		runner.Cell{
+			Label:     fmt.Sprintf("QW/%s/%s", p.Name, set),
+			Config:    opt.simConfig(),
+			Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
+			Apps:      buildSet(p, set),
+		})
+}
+
+// figure2Row assembles one application's row from its cell results,
+// in the order figure2Cells submitted them.
+func figure2Row(set WorkloadSet, opt Options, p workload.Profile, results []sim.Result) (Fig2Row, error) {
 	row := Fig2Row{App: p.Name}
-	linux, err := meanLinuxTurnaround(opt, p, set)
+	nSeeds := len(opt.seeds())
+	linux, err := meanLinuxFromResults(p, set, results[:nSeeds])
 	if err != nil {
 		return row, err
 	}
 	row.LinuxTurnaround = linux
-
-	ncpu := opt.machine().NumCPUs
-	cap := opt.capacity()
-
-	lq, err := sim.Run(opt.simConfig(), sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...), buildSet(p, set))
-	if err != nil {
-		return row, err
-	}
-	qw, err := sim.Run(opt.simConfig(), sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), buildSet(p, set))
-	if err != nil {
-		return row, err
-	}
+	lq, qw := results[nSeeds], results[nSeeds+1]
 	if lq.TimedOut || qw.TimedOut {
 		return row, fmt.Errorf("experiments: fig2 policy run timed out for %s/%s", p.Name, set)
 	}

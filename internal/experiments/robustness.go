@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"busaware/internal/runner"
 	"busaware/internal/sched"
-	"busaware/internal/sim"
 	"busaware/internal/stats"
 	"busaware/internal/workload"
 )
@@ -39,6 +39,10 @@ func Robustness(opt Options, n int, seed int64) (RobustnessResult, error) {
 
 	ncpu := opt.machine().NumCPUs
 	cap := opt.capacity()
+	// Workload generation stays serial so the rng call sequence (and
+	// therefore every generated mix) is identical to the historical
+	// serial sweep; only the simulation cells fan out.
+	var cells []runner.Cell
 	for i := 0; i < n; i++ {
 		// Two random finite applications...
 		p1 := workload.RandomProfile(rng, fmt.Sprintf("rnd%da", i))
@@ -65,19 +69,32 @@ func Robustness(opt Options, n int, seed int64) (RobustnessResult, error) {
 			}
 			return apps
 		}
-
-		linux, err := sim.Run(opt.simConfig(), sched.NewLinux(ncpu, rng.Int63()), build())
-		if err != nil {
-			return out, err
-		}
-		lq, err := sim.Run(opt.simConfig(), sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...), build())
-		if err != nil {
-			return out, err
-		}
-		qw, err := sim.Run(opt.simConfig(), sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), build())
-		if err != nil {
-			return out, err
-		}
+		cells = append(cells,
+			runner.Cell{
+				Label:     fmt.Sprintf("robust/%d/linux", i),
+				Config:    opt.simConfig(),
+				Scheduler: sched.NewLinux(ncpu, rng.Int63()),
+				Apps:      build(),
+			},
+			runner.Cell{
+				Label:     fmt.Sprintf("robust/%d/LQ", i),
+				Config:    opt.simConfig(),
+				Scheduler: sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...),
+				Apps:      build(),
+			},
+			runner.Cell{
+				Label:     fmt.Sprintf("robust/%d/QW", i),
+				Config:    opt.simConfig(),
+				Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
+				Apps:      build(),
+			})
+	}
+	results, err := opt.runCells("robustness", cells)
+	if err != nil {
+		return out, err
+	}
+	for i := 0; i < n; i++ {
+		linux, lq, qw := results[i*3], results[i*3+1], results[i*3+2]
 		if linux.TimedOut || lq.TimedOut || qw.TimedOut {
 			return out, fmt.Errorf("experiments: robustness workload %d timed out", i)
 		}
@@ -92,7 +109,6 @@ func Robustness(opt Options, n int, seed int64) (RobustnessResult, error) {
 			out.QWWins++
 		}
 	}
-	var err error
 	if out.LQ, err = stats.Summarize(lqImps); err != nil {
 		return out, err
 	}

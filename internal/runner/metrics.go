@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"sync"
+	"time"
+
+	"busaware/internal/units"
+)
+
+// Batch is one named Report observed by a Metrics accumulator.
+type Batch struct {
+	Name   string
+	Report Report
+}
+
+// Metrics accumulates the Reports of a whole experiment sweep — one
+// Observe call per batch — so cmd/figures can print a single
+// run-level summary at the end and tests can assert the totals add
+// up. Safe for concurrent use.
+type Metrics struct {
+	mu      sync.Mutex
+	batches []Batch
+}
+
+// NewMetrics returns an empty accumulator.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Observe records one batch report under a name.
+func (m *Metrics) Observe(name string, r Report) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches = append(m.batches, Batch{Name: name, Report: r})
+}
+
+// Batches returns the observed batches in observation order.
+func (m *Metrics) Batches() []Batch {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Batch, len(m.batches))
+	copy(out, m.batches)
+	return out
+}
+
+// Total is the aggregate of every observed batch.
+type Total struct {
+	Batches int
+	Cells   int
+	Failed  int
+	// Wall sums the batch wall times (batches run sequentially).
+	Wall time.Duration
+	// CellWall sums the per-cell wall times — what the sweep would
+	// have cost serially.
+	CellWall time.Duration
+	// Quanta and SimTime total the simulated work.
+	Quanta  int
+	SimTime units.Time
+	// BusUtilization is the quanta-weighted mean across all cells.
+	BusUtilization float64
+	// Workers and PeakOccupancy are maxima over batches.
+	Workers       int
+	PeakOccupancy int
+}
+
+// Speedup is the effective parallelism of the whole sweep.
+func (t Total) Speedup() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.CellWall) / float64(t.Wall)
+}
+
+// Total aggregates the observed batches.
+func (m *Metrics) Total() Total {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t Total
+	var weighted float64
+	t.Batches = len(m.batches)
+	for _, b := range m.batches {
+		r := b.Report
+		t.Cells += len(r.Cells)
+		t.Failed += r.Failed()
+		t.Wall += r.Wall
+		t.CellWall += r.CellWall()
+		t.Quanta += r.TotalQuanta()
+		t.SimTime += r.TotalSimTime()
+		weighted += r.MeanBusUtilization() * float64(r.TotalQuanta())
+		if r.Workers > t.Workers {
+			t.Workers = r.Workers
+		}
+		if r.PeakOccupancy > t.PeakOccupancy {
+			t.PeakOccupancy = r.PeakOccupancy
+		}
+	}
+	if t.Quanta > 0 {
+		t.BusUtilization = weighted / float64(t.Quanta)
+	}
+	return t
+}
