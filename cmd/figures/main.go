@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling] [-csv] [-workers N] [-runstats]
+//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling|robust|degr|servers|smt] [-csv] [-workers N] [-runstats]
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: all, cal, hit, 1a, 1b, 2a, 2b, 2c, ablw, ablq, ovh, zoo, sampling, robust, servers, smt")
+	fig := flag.String("fig", "all", "which artifact to regenerate: all, cal, hit, 1a, 1b, 2a, 2b, 2c, ablw, ablq, ovh, zoo, sampling, robust, degr, servers, smt")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	app := flag.String("app", "BT", "application for the scheduler-zoo comparison")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
@@ -70,10 +70,11 @@ func main() {
 		"zoo":      func() error { return zoo(opt, *app, emit) },
 		"sampling": func() error { return sampling(opt, emit) },
 		"robust":   func() error { return robustness(opt, emit) },
+		"degr":     func() error { return degradation(opt, emit) },
 		"servers":  func() error { return servers(opt, emit) },
 		"smt":      func() error { return smt(opt, emit) },
 	}
-	order := []string{"cal", "hit", "1a", "1b", "2a", "2b", "2c", "ablw", "ablq", "ovh", "zoo", "sampling", "robust", "servers", "smt"}
+	order := []string{"cal", "hit", "1a", "1b", "2a", "2b", "2c", "ablw", "ablq", "ovh", "zoo", "sampling", "robust", "degr", "servers", "smt"}
 
 	which := strings.ToLower(*fig)
 	if which == "all" {
@@ -263,6 +264,22 @@ func robustness(opt busaware.ExperimentOptions, emit func(*report.Table)) error 
 		res.LQ.Mean, res.LQ.Median, res.LQ.Min, res.LQ.Max)
 	t.AddRowf("QuantaWindow", fmt.Sprintf("%d/%d", res.QWWins, res.Workloads),
 		res.QW.Mean, res.QW.Median, res.QW.Min, res.QW.Max)
+	emit(t)
+	return nil
+}
+
+func degradation(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	points, err := busaware.MeasureDegradation(opt, nil, 1)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Fault-injection degradation sweep, BT mixed set (improvement % over clean Linux; stale fallback K=4)",
+		"Fault class", "Rate", "LQ impr %", "QW impr %", "LQ faults", "QW faults")
+	for _, p := range points {
+		t.AddRowf(string(p.Class), fmt.Sprintf("%.0f%%", p.Rate*100),
+			p.LQImprovement, p.QWImprovement,
+			fmt.Sprint(p.LQFaults.Total()), fmt.Sprint(p.QWFaults.Total()))
+	}
 	emit(t)
 	return nil
 }

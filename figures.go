@@ -2,6 +2,7 @@ package busaware
 
 import (
 	"busaware/internal/experiments"
+	"busaware/internal/faults"
 	"busaware/internal/runner"
 	"busaware/internal/units"
 )
@@ -38,6 +39,17 @@ type (
 	SamplingAblationRow = experiments.SamplingAblationRow
 	// RobustnessResult summarizes random-workload sweeps.
 	RobustnessResult = experiments.RobustnessResult
+	// DegradationPoint is one cell of the fault-injection sweep: both
+	// policies' improvement over clean Linux with one fault class at
+	// one rate.
+	DegradationPoint = experiments.DegradationPoint
+	// DegradationFaultClass names an injectable failure mode.
+	DegradationFaultClass = experiments.FaultClass
+	// FaultConfig sets seeded fault-injection rates for a run; the zero
+	// value is inert.
+	FaultConfig = faults.Config
+	// FaultStats reports what an injector actually did during a run.
+	FaultStats = faults.Stats
 	// ServerRow is a server-class application's outcome (extension).
 	ServerRow = experiments.ServerRow
 	// SMTRow compares hyperthreading off/on under one policy
@@ -143,6 +155,14 @@ func AblateSampling(opt ExperimentOptions, apps []string) ([]SamplingAblationRow
 // — the generalization check beyond the paper's hand-picked mixes.
 func MeasureRobustness(opt ExperimentOptions, n int, seed int64) (RobustnessResult, error) {
 	return experiments.Robustness(opt, n, seed)
+}
+
+// MeasureDegradation sweeps seeded fault injection (sample loss,
+// signal loss, client crashes) over the mixed workload and reports how
+// much of each policy's improvement over clean Linux survives. Nil
+// rates selects the default 0/10/30/50% grid.
+func MeasureDegradation(opt ExperimentOptions, rates []float64, seed int64) ([]DegradationPoint, error) {
+	return experiments.Degradation(opt, rates, seed)
 }
 
 // RunServerWorkloads evaluates the web-server and database profiles —

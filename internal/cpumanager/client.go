@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
+	"busaware/internal/faults"
 	"busaware/internal/units"
 )
 
@@ -15,26 +17,78 @@ import (
 // manager and applications". The only source modifications a real
 // application needed were connect/disconnect calls and interception of
 // thread creation and destruction; Client exposes exactly those.
+//
+// The client treats the wire as unreliable: requests can carry a
+// deadline (WithRequestTimeout) and time-outs are retried with bounded
+// exponential backoff (WithRetry). Every transport error is wrapped
+// with the failing operation, so callers can branch with errors.Is /
+// errors.As (net.Error for timeouts) instead of string matching.
 type Client struct {
 	conn net.Conn
-	enc  *json.Encoder
 	dec  *json.Decoder
 
 	sessionID    uint64
 	updatePeriod units.Time
 	quantum      units.Time
+
+	reqTimeout time.Duration
+	attempts   int
+	backoff    time.Duration
+	sleep      faults.Sleeper
 }
 
+// ClientOption tweaks a Client's wire behaviour.
+type ClientOption func(*Client)
+
+// WithRequestTimeout sets a per-request deadline on the connection;
+// zero (the default) never times out.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.reqTimeout = d
+		}
+	}
+}
+
+// WithRetry retries timed-out requests up to attempts times in total,
+// sleeping base, 2*base, 4*base, ... between tries. Only timeouts are
+// retried: a request that timed out before reaching the manager is
+// safe to resend, while a decode error or a refused operation is not.
+func WithRetry(attempts int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		if attempts >= 1 {
+			c.attempts = attempts
+		}
+		if base > 0 {
+			c.backoff = base
+		}
+	}
+}
+
+// withSleeper substitutes the backoff clock, so tests assert the
+// exact delay sequence without real sleeping.
+func withSleeper(s faults.Sleeper) ClientOption {
+	return func(c *Client) { c.sleep = s }
+}
+
+// DefaultRetryBackoff is the base backoff delay WithRetry falls back
+// to when given a non-positive base.
+const DefaultRetryBackoff = 10 * time.Millisecond
+
 // Connect performs the handshake over an established connection.
-func Connect(conn net.Conn, instance string, threads int) (*Client, error) {
+func Connect(conn net.Conn, instance string, threads int, opts ...ClientOption) (*Client, error) {
 	c := &Client{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(conn),
+		conn:     conn,
+		dec:      json.NewDecoder(conn),
+		attempts: 1,
+		backoff:  DefaultRetryBackoff,
+	}
+	for _, o := range opts {
+		o(c)
 	}
 	resp, err := c.roundTrip(Request{Op: OpConnect, Instance: instance, Threads: threads})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cpumgr connect: %w", err)
 	}
 	c.sessionID = resp.Session
 	c.updatePeriod = units.Time(resp.UpdatePeriodUs)
@@ -44,12 +98,12 @@ func Connect(conn net.Conn, instance string, threads int) (*Client, error) {
 
 // Dial connects to the manager's listener address and performs the
 // handshake.
-func Dial(network, addr, instance string, threads int) (*Client, error) {
+func Dial(network, addr, instance string, threads int, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial(network, addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cpumgr connect: %w", err)
 	}
-	c, err := Connect(conn, instance, threads)
+	c, err := Connect(conn, instance, threads, opts...)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -57,13 +111,60 @@ func Dial(network, addr, instance string, threads int) (*Client, error) {
 	return c, nil
 }
 
+// isTimeout reports whether err is a transport timeout — the only
+// error class the client retries.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// roundTrip sends one request and awaits the response, retrying
+// timeouts with exponential backoff up to the configured attempt
+// budget.
 func (c *Client) roundTrip(req Request) (Response, error) {
-	if err := c.enc.Encode(req); err != nil {
-		return Response{}, err
+	attempts := c.attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			c.sleep.Sleep(c.backoff << (try - 1))
+		}
+		resp, err := c.exchange(req)
+		if err == nil {
+			return resp, nil
+		}
+		if !isTimeout(err) {
+			return Response{}, err
+		}
+		lastErr = err
+	}
+	return Response{}, fmt.Errorf("cpumgr %s: gave up after %d attempts: %w", req.Op, attempts, lastErr)
+}
+
+// exchange performs one send/receive with the configured deadline.
+func (c *Client) exchange(req Request) (Response, error) {
+	if c.reqTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.reqTimeout)); err != nil {
+			return Response{}, fmt.Errorf("cpumgr %s deadline: %w", req.Op, err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	// Marshal and write by hand rather than through a json.Encoder: an
+	// Encoder latches its first write error and replays it forever,
+	// which would turn one timed-out send into a permanently dead
+	// client no retry can revive.
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("cpumgr send %s: %w", req.Op, err)
+	}
+	if _, err := c.conn.Write(append(buf, '\n')); err != nil {
+		return Response{}, fmt.Errorf("cpumgr send %s: %w", req.Op, err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, err
+		return Response{}, fmt.Errorf("cpumgr recv %s: %w", req.Op, err)
 	}
 	if !resp.OK {
 		return resp, fmt.Errorf("cpumanager: %s", resp.Err)
@@ -96,7 +197,7 @@ func (c *Client) ThreadDestroyed() error {
 // Disconnect tears the session down and closes the connection.
 func (c *Client) Disconnect() error {
 	if c.sessionID == 0 {
-		return errors.New("cpumanager: not connected")
+		return errors.New("cpumgr disconnect: not connected")
 	}
 	_, err := c.roundTrip(Request{Op: OpDisconnect})
 	c.sessionID = 0

@@ -44,13 +44,20 @@ type Admitted struct {
 	Sessions []*Session
 	// Blocked counts the sessions signalled to stop.
 	Blocked int
+	// Reaped counts the sessions reclaimed this quantum because their
+	// application went silent past the manager's reap timeout.
+	Reaped int
 }
 
-// Tick runs one scheduling quantum: sample arenas, select, signal.
+// Tick runs one scheduling quantum: reap dead sessions, sample arenas,
+// select, signal.
 func (d *Director) Tick() Admitted {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.now += d.policy.Quantum()
+
+	var out Admitted
+	out.Reaped = len(d.mgr.Reap(d.now))
 
 	sessions := d.mgr.Sessions()
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
@@ -62,6 +69,7 @@ func (d *Director) Tick() Admitted {
 		if _, ok := d.jobs[s.ID]; ok {
 			continue
 		}
+		s.Touch(d.now)
 		// The placeholder App carries the gang size; the policy never
 		// touches workload state for externally-managed applications.
 		p := workload.Profile{
@@ -82,12 +90,14 @@ func (d *Director) Tick() Admitted {
 
 	// Sample arenas: only fresh pages contribute (a blocked
 	// application publishes nothing, so its last estimate persists —
-	// the paper's "statistics for all running jobs" rule).
+	// the paper's "statistics for all running jobs" rule). A fresh
+	// publish is also proof of life for the reaper.
 	byJob := make(map[*sched.Job]*Session, len(sessions))
 	for _, s := range sessions {
 		j := d.jobs[s.ID]
 		byJob[j] = s
 		if rate, epoch, _ := s.Arena.Read(); epoch > 0 && s.Arena.FreshAt(d.now) {
+			s.Touch(d.now)
 			if n := s.Threads(); n > 0 {
 				j.PushSample(rate / units.Rate(n))
 			}
@@ -96,7 +106,6 @@ func (d *Director) Tick() Admitted {
 
 	selected := d.policy.Select()
 	admitted := make(map[*Session]bool, len(selected))
-	var out Admitted
 	for _, j := range selected {
 		if s := byJob[j]; s != nil {
 			admitted[s] = true

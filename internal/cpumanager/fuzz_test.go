@@ -55,6 +55,58 @@ func FuzzProtocol(f *testing.F) {
 	})
 }
 
+// FuzzClientRequestDecode mirrors the server's read loop byte for
+// byte: decode one request off the wire exactly as handle does, then
+// dispatch it. Malformed JSON is rejected at the decode step, and any
+// request that does decode — unknown ops, absurd thread counts — must
+// produce an error response, never a panic and never an unbounded
+// allocation.
+func FuzzClientRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"op":"connect","instance":"a","threads":2}`))
+	f.Add([]byte(`{"op":"connect","threads":1000000000}`))
+	f.Add([]byte(`{"op":"connect","threads":-1}`))
+	f.Add([]byte(`{"op":"thread_create","session":18446744073709551615}`))
+	f.Add([]byte(`{"op":"nonsense"}`))
+	f.Add([]byte(`{"op":"connect"`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\xff\xfe"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var req Request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			// handle() drops the connection on a decode error; there
+			// is nothing to dispatch.
+			return
+		}
+		mgr, err := NewManager(200 * units.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sessionID uint64
+		resp := mgr.dispatch(&sessionID, req)
+		if !resp.OK && resp.Err == "" {
+			t.Errorf("error response without text for %q", payload)
+		}
+		if req.Op == OpConnect && (req.Threads < 1 || req.Threads > MaxSessionThreads) {
+			if resp.OK {
+				t.Errorf("absurd thread count %d accepted", req.Threads)
+			}
+		}
+		switch req.Op {
+		case OpConnect, OpDisconnect, OpThreadCreate, OpThreadDestroy:
+		default:
+			if resp.OK {
+				t.Errorf("unknown op %q accepted", req.Op)
+			}
+		}
+		// Sessions created by a successful connect are bounded.
+		for _, s := range mgr.Sessions() {
+			if n := s.Threads(); n < 1 || n > MaxSessionThreads {
+				t.Errorf("session with %d threads", n)
+			}
+		}
+	})
+}
+
 // FuzzRequestDispatch drives the dispatcher directly with decoded but
 // adversarial requests: no panics, and errors never mint sessions.
 func FuzzRequestDispatch(f *testing.F) {

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 
+	"busaware/internal/faults"
 	"busaware/internal/units"
 )
 
@@ -43,6 +45,11 @@ type Response struct {
 	QuantumUs      int64  `json:"quantum_us,omitempty"`
 }
 
+// MaxSessionThreads bounds the per-session thread count the manager
+// will track. Absurd counts in a connect or thread_create request must
+// yield an error response, not an unbounded signal-state allocation.
+const MaxSessionThreads = 1024
+
 // Session is the manager's state for one connected application.
 type Session struct {
 	ID       uint64
@@ -56,6 +63,27 @@ type Session struct {
 	// paper's delivery chain.
 	signals []*SignalState
 	closed  bool
+	// lastSeen is the simulated time the manager last heard from the
+	// application (registration, wire activity, or a fresh arena
+	// publish). The reaper uses it to reclaim sessions whose client
+	// died without disconnecting.
+	lastSeen units.Time
+}
+
+// Touch records activity from the application at simulated time now.
+func (s *Session) Touch(now units.Time) {
+	s.mu.Lock()
+	if now > s.lastSeen {
+		s.lastSeen = now
+	}
+	s.mu.Unlock()
+}
+
+// LastSeen returns the last recorded activity time.
+func (s *Session) LastSeen() units.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeen
 }
 
 // Threads returns the current thread count.
@@ -109,6 +137,19 @@ type Manager struct {
 	// SignalsSent counts block+unblock signals, for the overhead
 	// experiment.
 	signalsSent uint64
+
+	// faultInj, when non-nil, injects signal-delivery faults
+	// (drop/duplicate/delay); delayed holds deliveries deferred to the
+	// next signalling round, and owedBlocks/owedUnblocks record the
+	// compensating resends owed per thread after a duplicated signal.
+	faultInj     *faults.Injector
+	delayed      []func()
+	owedBlocks   map[*SignalState]int
+	owedUnblocks map[*SignalState]int
+
+	// reapTimeout, when positive, lets Reap reclaim sessions not
+	// heard from within the window.
+	reapTimeout units.Time
 }
 
 // NewManager builds a manager with the given scheduling quantum
@@ -162,10 +203,60 @@ func (m *Manager) Attach(sessionID uint64) (*Session, error) {
 	return s, nil
 }
 
+// SetFaultInjector attaches a fault injector to signal delivery; nil
+// (the default) delivers every signal exactly once, immediately.
+func (m *Manager) SetFaultInjector(in *faults.Injector) {
+	m.mu.Lock()
+	m.faultInj = in
+	m.mu.Unlock()
+}
+
+// SetReapTimeout enables session reaping: Reap reclaims sessions not
+// heard from within d. Zero (the default) disables reaping.
+func (m *Manager) SetReapTimeout(d units.Time) {
+	m.mu.Lock()
+	m.reapTimeout = d
+	m.mu.Unlock()
+}
+
+// Reap removes sessions whose application has been silent (no wire
+// activity, no fresh arena publish) longer than the reap timeout, and
+// returns them. A dead client's processors are thereby reclaimed next
+// quantum instead of leaking until the TCP stack notices. No-op when
+// reaping is disabled.
+func (m *Manager) Reap(now units.Time) []*Session {
+	m.mu.Lock()
+	timeout := m.reapTimeout
+	if timeout <= 0 {
+		m.mu.Unlock()
+		return nil
+	}
+	var reaped []*Session
+	for id, s := range m.sessions {
+		last := s.LastSeen()
+		if _, epoch, written := s.Arena.Read(); epoch > 0 && written > last {
+			last = written
+		}
+		if now-last > timeout {
+			s.mu.Lock()
+			s.closed = true
+			s.mu.Unlock()
+			delete(m.sessions, id)
+			reaped = append(reaped, s)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(reaped, func(i, j int) bool { return reaped[i].ID < reaped[j].ID })
+	return reaped
+}
+
 // connect registers a new application.
 func (m *Manager) connect(instance string, threads int) (*Session, error) {
 	if threads < 1 {
 		return nil, fmt.Errorf("cpumanager: %q connecting with %d threads", instance, threads)
+	}
+	if threads > MaxSessionThreads {
+		return nil, fmt.Errorf("cpumanager: %q connecting with %d threads (max %d)", instance, threads, MaxSessionThreads)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -197,24 +288,85 @@ func (m *Manager) disconnect(id uint64) error {
 
 // Block signals a session to stop running: one signal to thread 0,
 // forwarded to the rest.
-func (m *Manager) Block(s *Session) {
-	states := s.SignalStates()
+func (m *Manager) Block(s *Session) { m.signal(s, true) }
+
+// Unblock signals a session to resume.
+func (m *Manager) Unblock(s *Session) { m.signal(s, false) }
+
+// signal delivers a block or unblock signal to every thread of s.
+// Without a fault injector each signal is delivered exactly once,
+// immediately — the counting matches the pre-fault manager exactly.
+// With one attached, individual per-thread signals may be dropped,
+// delayed to the next signalling round, or duplicated. A duplicate
+// models a resend: a manager unsure a signal arrived sends it again
+// and, knowing it did, later resends the matching opposite signal too,
+// so the count-based blocking rule converges instead of wedging on a
+// permanent block/unblock surplus — the inversion tolerance the paper
+// built SignalState for.
+func (m *Manager) signal(s *Session, block bool) {
 	m.mu.Lock()
-	m.signalsSent += uint64(len(states))
+	inj := m.faultInj
+	pending := m.delayed
+	m.delayed = nil
 	m.mu.Unlock()
-	for _, st := range states {
-		st.Block()
+
+	// Deliver signals deferred from the previous round first, so a
+	// delayed signal arrives at most one round late and never after a
+	// newer signal for the same thread.
+	for _, deliver := range pending {
+		deliver()
+	}
+
+	for _, st := range s.SignalStates() {
+		st := st
+		switch {
+		case inj.DropSignal():
+			// Lost in delivery: the thread never sees it.
+		case inj.DelaySignal():
+			m.mu.Lock()
+			m.delayed = append(m.delayed, func() { m.deliverSignal(st, block, false) })
+			m.mu.Unlock()
+		default:
+			m.deliverSignal(st, block, inj.DuplicateSignal())
+		}
 	}
 }
 
-// Unblock signals a session to resume.
-func (m *Manager) Unblock(s *Session) {
-	states := s.SignalStates()
+// deliverSignal delivers one signal to st, settling any compensating
+// resends owed in this direction. When resend is true the signal is
+// sent twice and the opposite direction owes one compensation.
+func (m *Manager) deliverSignal(st *SignalState, block, resend bool) {
 	m.mu.Lock()
-	m.signalsSent += uint64(len(states))
+	n := 1
+	if block {
+		n += m.owedBlocks[st]
+		delete(m.owedBlocks, st)
+		if resend {
+			if m.owedUnblocks == nil {
+				m.owedUnblocks = make(map[*SignalState]int)
+			}
+			m.owedUnblocks[st]++
+			n++
+		}
+	} else {
+		n += m.owedUnblocks[st]
+		delete(m.owedUnblocks, st)
+		if resend {
+			if m.owedBlocks == nil {
+				m.owedBlocks = make(map[*SignalState]int)
+			}
+			m.owedBlocks[st]++
+			n++
+		}
+	}
+	m.signalsSent += uint64(n)
 	m.mu.Unlock()
-	for _, st := range states {
-		st.Unblock()
+	for i := 0; i < n; i++ {
+		if block {
+			st.Block()
+		} else {
+			st.Unblock()
+		}
 	}
 }
 
@@ -302,6 +454,9 @@ func (m *Manager) dispatch(sessionID *uint64, req Request) Response {
 		}
 		if n < 1 {
 			return fail(errors.New("thread count would drop below 1"))
+		}
+		if n > MaxSessionThreads {
+			return fail(fmt.Errorf("thread count %d exceeds max %d", n, MaxSessionThreads))
 		}
 		s.setThreads(n)
 		return Response{OK: true, Session: id}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"busaware/internal/faults"
 	"busaware/internal/machine"
 	"busaware/internal/runner"
 	"busaware/internal/sched"
@@ -26,6 +27,10 @@ type Options struct {
 	LinuxSeeds []int64
 	// Sampling selects the CPU manager's estimator input.
 	Sampling sim.SampleMode
+	// Faults configures fault injection for every simulation cell the
+	// experiment builds. The zero value is inert: no injector is
+	// created and results are identical to a fault-free run.
+	Faults faults.Config
 	// PolicyOpts are applied to every bandwidth-aware policy built.
 	PolicyOpts []sched.Option
 	// Workers bounds the parallel runner's worker pool. Zero selects
@@ -59,7 +64,7 @@ func (o Options) seeds() []int64 {
 }
 
 func (o Options) simConfig() sim.Config {
-	return sim.Config{Machine: o.machine(), Sampling: o.Sampling}
+	return sim.Config{Machine: o.machine(), Sampling: o.Sampling, Faults: o.Faults}
 }
 
 func (o Options) capacity() units.Rate {

@@ -33,20 +33,21 @@ func Robustness(opt Options, n int, seed int64) (RobustnessResult, error) {
 	if n <= 0 {
 		n = 20
 	}
-	rng := rand.New(rand.NewSource(seed))
 	out := RobustnessResult{Workloads: n}
 	var lqImps, qwImps []float64
 
 	ncpu := opt.machine().NumCPUs
 	cap := opt.capacity()
-	// Workload generation stays serial so the rng call sequence (and
-	// therefore every generated mix) is identical to the historical
-	// serial sweep; only the simulation cells fan out.
+	// Each workload draws from its own rng seeded with seed+i, so mix i
+	// is a pure function of (seed, i): inserting, removing or reordering
+	// workloads never reshuffles the others, and generation order is
+	// irrelevant. Only the simulation cells fan out.
 	var cells []runner.Cell
 	for i := 0; i < n; i++ {
+		wrng := rand.New(rand.NewSource(seed + int64(i)))
 		// Two random finite applications...
-		p1 := workload.RandomProfile(rng, fmt.Sprintf("rnd%da", i))
-		p2 := workload.RandomProfile(rng, fmt.Sprintf("rnd%db", i))
+		p1 := workload.RandomProfile(wrng, fmt.Sprintf("rnd%da", i))
+		p2 := workload.RandomProfile(wrng, fmt.Sprintf("rnd%db", i))
 		if p1.Threads > ncpu {
 			p1.Threads = ncpu
 		}
@@ -54,8 +55,8 @@ func Robustness(opt Options, n int, seed int64) (RobustnessResult, error) {
 			p2.Threads = ncpu
 		}
 		// ... plus a random antagonist mix.
-		nB := 1 + rng.Intn(3)
-		nN := 1 + rng.Intn(3)
+		nB := 1 + wrng.Intn(3)
+		nN := 1 + wrng.Intn(3)
 		build := func() []*workload.App {
 			apps := []*workload.App{
 				workload.NewApp(p1, p1.Name+"#1"),
@@ -73,7 +74,7 @@ func Robustness(opt Options, n int, seed int64) (RobustnessResult, error) {
 			runner.Cell{
 				Label:     fmt.Sprintf("robust/%d/linux", i),
 				Config:    opt.simConfig(),
-				Scheduler: sched.NewLinux(ncpu, rng.Int63()),
+				Scheduler: sched.NewLinux(ncpu, wrng.Int63()),
 				Apps:      build(),
 			},
 			runner.Cell{

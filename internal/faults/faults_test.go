@@ -1,0 +1,179 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// A nil injector must be fully inert: every query answers "no fault"
+// and values pass through untouched.
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if in.DropSample() || in.DropCounterSample() || in.DropSignal() ||
+		in.DuplicateSignal() || in.DelaySignal() || in.Crash() || in.DropRequest() {
+		t.Error("nil injector injected a fault")
+	}
+	if got := in.PerturbSample(3.5); got != 3.5 {
+		t.Errorf("PerturbSample on nil = %v", got)
+	}
+	if got := in.PerturbCounterRate(7.25); got != 7.25 {
+		t.Errorf("PerturbCounterRate on nil = %v", got)
+	}
+	if in.Stats() != (Stats{}) {
+		t.Errorf("nil stats = %+v", in.Stats())
+	}
+	if in.Config() != (Config{}) {
+		t.Errorf("nil config = %+v", in.Config())
+	}
+}
+
+// A zero config builds a nil injector, so the zero-rate path cannot
+// differ from the no-faults path by construction.
+func TestZeroConfigYieldsNil(t *testing.T) {
+	if in := New(Config{Seed: 99}); in != nil {
+		t.Error("zero-rate config built a live injector")
+	}
+	if (Config{Seed: 1}).Enabled() {
+		t.Error("seed alone must not enable injection")
+	}
+	if !(Config{SampleLoss: 0.1}).Enabled() {
+		t.Error("positive rate not detected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{SampleLoss: 0.5, CrashProb: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{SignalLoss: 1.5}).Validate(); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if err := (Config{SampleNoise: -0.1}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+// Same seed, same call sequence: identical fault pattern.
+func TestDeterministicPerSeed(t *testing.T) {
+	pattern := func() []bool {
+		in := New(Config{Seed: 7, SampleLoss: 0.3, SignalLoss: 0.2})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, in.DropSample(), in.DropSignal())
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault pattern diverged at draw %d", i)
+		}
+	}
+}
+
+// Rates are roughly honoured and stats count exactly the injected
+// faults.
+func TestRatesAndStats(t *testing.T) {
+	in := New(Config{Seed: 1, SampleLoss: 0.3})
+	dropped := 0
+	for i := 0; i < 2000; i++ {
+		if in.DropSample() {
+			dropped++
+		}
+	}
+	if dropped < 450 || dropped > 750 {
+		t.Errorf("dropped %d/2000 at rate 0.3", dropped)
+	}
+	st := in.Stats()
+	if int(st.SamplesDropped) != dropped {
+		t.Errorf("stats %d != observed %d", st.SamplesDropped, dropped)
+	}
+	if st.Total() != st.SamplesDropped {
+		t.Errorf("other classes counted: %+v", st)
+	}
+}
+
+// A zero-rate class never draws from the rng: enabling one class must
+// not perturb another class's decision stream.
+func TestClassIndependence(t *testing.T) {
+	seq := func(cfg Config) []bool {
+		in := New(cfg)
+		var out []bool
+		for i := 0; i < 100; i++ {
+			in.DropSample() // interleaved query on a possibly-zero class
+			out = append(out, in.DropSignal())
+		}
+		return out
+	}
+	base := seq(Config{Seed: 5, SignalLoss: 0.4})
+	mixed := seq(Config{Seed: 5, SignalLoss: 0.4, CrashProb: 0}) // still zero
+	for i := range base {
+		if base[i] != mixed[i] {
+			t.Fatalf("zero-rate class changed signal stream at %d", i)
+		}
+	}
+}
+
+// Noise keeps values non-negative and within the configured relative
+// band.
+func TestPerturbBounds(t *testing.T) {
+	in := New(Config{Seed: 3, SampleNoise: 0.5})
+	for i := 0; i < 500; i++ {
+		v := in.PerturbSample(10)
+		if v < 5-1e-9 || v > 15+1e-9 {
+			t.Fatalf("perturbed value %v outside [5, 15]", v)
+		}
+	}
+	inBig := New(Config{Seed: 3, SampleNoise: 1})
+	for i := 0; i < 500; i++ {
+		if v := inBig.PerturbSample(1); v < 0 {
+			t.Fatalf("negative perturbed value %v", v)
+		}
+	}
+}
+
+// FlakyConn raises a retryable net.Error timeout and swallows the
+// write whole.
+func TestFlakyConn(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := NewFlakyConn(client, New(Config{Seed: 2, RequestLoss: 1}))
+	n, err := fc.Write([]byte("hello"))
+	if n != 0 || err == nil {
+		t.Fatalf("write = (%d, %v), want injected failure", n, err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("injected error %v is not a net.Error timeout", err)
+	}
+	// With a nil injector the conn is transparent.
+	clear := NewFlakyConn(client, nil)
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 5)
+		server.Read(buf)
+		close(done)
+	}()
+	if _, err := clear.Write([]byte("hello")); err != nil {
+		t.Fatalf("transparent write failed: %v", err)
+	}
+	<-done
+}
+
+func TestSleeper(t *testing.T) {
+	var got time.Duration
+	s := Sleeper(func(d time.Duration) { got = d })
+	s.Sleep(42 * time.Millisecond)
+	if got != 42*time.Millisecond {
+		t.Errorf("sleeper saw %v", got)
+	}
+	// The nil sleeper really sleeps; keep it tiny.
+	var real Sleeper
+	start := time.Now()
+	real.Sleep(time.Millisecond)
+	if time.Since(start) < time.Millisecond {
+		t.Error("nil sleeper did not sleep")
+	}
+}

@@ -122,12 +122,23 @@ func Delta(earlier, later Sample) [NumEvents]uint64 {
 	return d
 }
 
+// FaultHook lets a fault-injection layer perturb counter sampling.
+// DropCounterSample fails one poll outright (the driver read was
+// lost); PerturbCounterRate adds measurement noise to each derived
+// event rate. internal/faults.Injector implements it; a nil hook (or
+// a hook that never fires) leaves the monitor's behaviour unchanged.
+type FaultHook interface {
+	DropCounterSample() bool
+	PerturbCounterRate(float64) float64
+}
+
 // Monitor derives rates from successive polls of one Counters set,
 // the way the CPU manager's run-time library sampled each thread.
 type Monitor struct {
 	ctr  *Counters
 	last Sample
 	init bool
+	hook FaultHook
 }
 
 // NewMonitor starts monitoring ctr.
@@ -135,11 +146,24 @@ func NewMonitor(ctr *Counters) *Monitor {
 	return &Monitor{ctr: ctr}
 }
 
+// SetFaultHook attaches a fault-injection hook to subsequent polls.
+// Pass nil to detach.
+func (m *Monitor) SetFaultHook(h FaultHook) { m.hook = h }
+
 // Poll reads the counters at simulated time now and returns per-event
 // rates (events per usec) since the previous poll. The first poll
 // establishes the baseline and returns zero rates with ok == false.
 // A poll with no elapsed time also returns ok == false.
+//
+// A poll dropped by the fault hook also returns ok == false and keeps
+// the previous baseline, so the reading goes stale rather than lost:
+// the next successful poll spans the gap and averages the rates over
+// the whole elapsed interval, exactly as a missed perfctr read would
+// on real hardware.
 func (m *Monitor) Poll(now units.Time) (rates [NumEvents]float64, ok bool) {
+	if m.hook != nil && m.hook.DropCounterSample() {
+		return rates, false
+	}
 	s := Sample{At: now, Values: m.ctr.Snapshot()}
 	if !m.init {
 		m.last = s
@@ -153,6 +177,9 @@ func (m *Monitor) Poll(now units.Time) (rates [NumEvents]float64, ok bool) {
 	d := Delta(m.last, s)
 	for i := range d {
 		rates[i] = float64(d[i]) / float64(elapsed)
+		if m.hook != nil {
+			rates[i] = m.hook.PerturbCounterRate(rates[i])
+		}
 	}
 	m.last = s
 	return rates, true

@@ -55,6 +55,7 @@ type BandwidthAware struct {
 	ewmaAlpha float64
 	guard     bool
 	slack     float64
+	staleK    int
 
 	list jobList
 }
@@ -116,6 +117,33 @@ func WithOvercommitSlack(s float64) Option {
 // when antagonists should be segregated strictly.
 func WithSaturationGuard() Option {
 	return func(b *BandwidthAware) { b.guard = true }
+}
+
+// DefaultStaleQuanta is the stale-fallback horizon K enabled by
+// WithStaleFallback: a job's last-known BBW estimate is held for up to
+// K consecutive scheduled-but-unsampled quanta before the policy stops
+// trusting it.
+const DefaultStaleQuanta = 4
+
+// WithStaleFallback enables graceful degradation under telemetry loss:
+// a job that runs for k consecutive quanta without delivering a fresh
+// bandwidth sample is treated as *degraded* — its held estimate is
+// considered garbage rather than scheduled on. Degraded jobs compete
+// in plain applications-list order (Linux-like round-robin fairness)
+// after the fresh jobs have been placed by fitness, and when every job
+// is degraded the selection loop degenerates to bandwidth-oblivious
+// gang round-robin. Admission never stalls: a degraded job is always
+// an eligible candidate, so the loop fails soft toward the baseline
+// instead of deadlocking or pairing jobs on stale numbers.
+//
+// Disabled by default (k <= 0): the stock policies hold the last
+// estimate forever, exactly as the paper specifies.
+func WithStaleFallback(k int) Option {
+	return func(b *BandwidthAware) {
+		if k > 0 {
+			b.staleK = k
+		}
+	}
 }
 
 // DefaultQuantum is the CPU manager's quantum: 200 ms, twice the Linux
@@ -194,6 +222,15 @@ func (b *BandwidthAware) Remove(j *Job) { b.list.remove(j) }
 // tests and introspection.
 func (b *BandwidthAware) Jobs() []*Job { return b.list.all() }
 
+// StaleFallback returns the stale-quanta horizon K (0 = disabled).
+func (b *BandwidthAware) StaleFallback() int { return b.staleK }
+
+// degraded reports whether j's estimate has gone stale beyond the
+// fallback horizon. Always false when the fallback is disabled.
+func (b *BandwidthAware) degraded(j *Job) bool {
+	return b.staleK > 0 && j.StaleQuanta() >= b.staleK
+}
+
 // estimate returns BBW/thread for job j under this policy's estimator.
 func (b *BandwidthAware) estimate(j *Job) units.Rate {
 	switch b.estimator {
@@ -233,7 +270,9 @@ func Fitness(abbwPerProc, bbwPerThread units.Rate) float64 {
 // until every job measures alike and the policies lose to Linux (the
 // sampling ablation in EXPERIMENTS.md quantifies this). An optional
 // saturation guard (WithSaturationGuard) additionally excludes
-// candidates that would overshoot the remaining bus budget.
+// candidates that would overshoot the remaining bus budget, and an
+// optional stale fallback (WithStaleFallback) demotes jobs whose
+// estimates went stale to round-robin admission.
 func (b *BandwidthAware) Select() []*Job {
 	jobs := b.list.all()
 	selected := make([]*Job, 0, 4)
@@ -253,7 +292,9 @@ func (b *BandwidthAware) Select() []*Job {
 		chosen[j] = true
 		freeCPUs -= n
 		allocatedThreads += n
-		allocatedBW += b.estimate(j) * units.Rate(n)
+		if !b.degraded(j) {
+			allocatedBW += b.estimate(j) * units.Rate(n)
+		}
 		break
 	}
 
@@ -264,6 +305,12 @@ func (b *BandwidthAware) Select() []*Job {
 		bestFit := -1.0
 		var fallback *Job
 		fallbackFit := -1.0
+		// rrPick is the first degraded candidate in list order: a job
+		// whose estimate went stale beyond the fallback horizon is not
+		// scheduled on garbage, but stays admissible round-robin style
+		// so the admission loop degrades gracefully instead of
+		// starving it or deadlocking.
+		var rrPick *Job
 		var allocAvg units.Rate
 		if allocatedThreads > 0 {
 			allocAvg = allocatedBW / units.Rate(allocatedThreads)
@@ -274,6 +321,12 @@ func (b *BandwidthAware) Select() []*Job {
 			}
 			n := runnableThreads(j)
 			if n == 0 || n > freeCPUs {
+				continue
+			}
+			if b.degraded(j) {
+				if rrPick == nil {
+					rrPick = j
+				}
 				continue
 			}
 			est := b.estimate(j)
@@ -292,6 +345,9 @@ func (b *BandwidthAware) Select() []*Job {
 			best = fallback
 		}
 		if best == nil {
+			best = rrPick
+		}
+		if best == nil {
 			break
 		}
 		n := runnableThreads(best)
@@ -299,7 +355,9 @@ func (b *BandwidthAware) Select() []*Job {
 		chosen[best] = true
 		freeCPUs -= n
 		allocatedThreads += n
-		allocatedBW += b.estimate(best) * units.Rate(n)
+		if !b.degraded(best) {
+			allocatedBW += b.estimate(best) * units.Rate(n)
+		}
 	}
 	return selected
 }
@@ -307,10 +365,18 @@ func (b *BandwidthAware) Select() []*Job {
 // Schedule implements Scheduler: select applications, rotate them to
 // the list tail, and lay their threads out with affinity preserved.
 func (b *BandwidthAware) Schedule(now units.Time, aff Affinity) []machine.Placement {
+	if b.staleK > 0 {
+		for _, j := range b.list.all() {
+			j.settleQuantum()
+		}
+	}
 	selected := b.Select()
 	ran := make(map[*Job]bool, len(selected))
 	for _, j := range selected {
 		ran[j] = true
+		if b.staleK > 0 {
+			j.noteScheduled()
+		}
 	}
 	b.list.rotateToTail(ran)
 	return assignCPUs(selected, aff, b.numCPUs)

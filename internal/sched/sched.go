@@ -48,6 +48,14 @@ type Job struct {
 	// (trans/usec). Capacity 1 degenerates to "latest quantum".
 	window *stats.Window
 	ewma   *stats.EWMA
+
+	// staleQuanta counts consecutive quanta the job was scheduled to
+	// run but produced no fresh sample — the telemetry-loss signal the
+	// stale-fallback degradation rule keys on. Quanta spent blocked do
+	// not count: a blocked application publishes nothing by design and
+	// its last estimate legitimately persists (the paper's rule).
+	staleQuanta    int
+	awaitingSample bool
 }
 
 // NewJob wraps app with a sample window of length windowLen (minimum
@@ -74,6 +82,41 @@ func (j *Job) PushSample(perThread units.Rate) {
 	if j.ewma != nil {
 		j.ewma.Push(float64(perThread))
 	}
+	j.staleQuanta = 0
+	j.awaitingSample = false
+}
+
+// settleQuantum closes out the previous quantum: if the job ran it
+// and no fresh sample arrived since, that quantum was stale. Called at
+// the top of Schedule, so staleness is visible to the selection that
+// follows.
+func (j *Job) settleQuantum() {
+	if j.awaitingSample {
+		j.staleQuanta++
+		j.awaitingSample = false
+	}
+}
+
+// noteScheduled records that the job is about to run one quantum and
+// owes the policy a sample for it.
+func (j *Job) noteScheduled() {
+	j.awaitingSample = true
+}
+
+// StaleQuanta returns how many consecutive scheduled quanta elapsed
+// without a fresh sample.
+func (j *Job) StaleQuanta() int { return j.staleQuanta }
+
+// ResetSamples discards the job's sampling history and staleness, as
+// after a client crash/reconnect: the application starts over with an
+// empty window, exactly like a freshly admitted job.
+func (j *Job) ResetSamples() {
+	j.window.Reset()
+	if j.ewma != nil {
+		j.ewma.Reset()
+	}
+	j.staleQuanta = 0
+	j.awaitingSample = false
 }
 
 // LatestRate returns the most recent per-thread sample.

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"busaware/internal/faults"
 	"busaware/internal/machine"
 	"busaware/internal/perfctr"
 	"busaware/internal/sched"
@@ -43,6 +44,14 @@ type Config struct {
 	// Timeline, when non-nil, records every placement for later
 	// rendering or Chrome-trace export.
 	Timeline *trace.Timeline
+	// Faults configures seeded fault injection across the sampling and
+	// signalling paths (see internal/faults). The zero value is inert:
+	// no injector is built and the run is byte-identical to one with no
+	// fault support at all. Faults model the *managed* stack — counter
+	// sampling, arena publishing, block/unblock signalling, client
+	// crashes — so kernel baselines (Linux, RR) are unaffected except
+	// for counter-level faults, which they ignore anyway.
+	Faults faults.Config
 }
 
 // SampleMode selects the bandwidth estimator fed to the policies.
@@ -101,6 +110,9 @@ type Result struct {
 	MeanBusUtilization float64
 	// TimedOut reports the MaxTime guard fired before completion.
 	TimedOut bool
+	// FaultStats counts the faults injected into the run (zero when
+	// Config.Faults is disabled).
+	FaultStats faults.Stats
 }
 
 // MeanTurnaround returns the arithmetic mean turnaround of the finite
@@ -134,6 +146,12 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 	if cfg.MaxTime <= 0 {
 		cfg.MaxTime = DefaultMaxTime
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	// inj is nil for a zero fault config; every consultation below is
+	// nil-safe and draws nothing, so the no-fault path is unchanged.
+	inj := faults.New(cfg.Faults)
 	m, err := machine.New(cfg.Machine)
 	if err != nil {
 		return Result{}, err
@@ -170,8 +188,13 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 			mon := perfctr.NewMonitor(&th.Counters)
 			// Prime the monitor with its time-zero baseline so the
 			// first quantum's transactions are not swallowed by
-			// baseline establishment.
+			// baseline establishment. The fault hook is attached only
+			// afterwards: injected counter faults never eat the
+			// baseline itself.
 			mon.Poll(m.Now())
+			if inj != nil {
+				mon.SetFaultHook(inj)
+			}
 			st.monitors = append(st.monitors, mon)
 		}
 		states[i] = st
@@ -219,6 +242,43 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		}
 		pending = kept
 		placements := s.Schedule(m.Now(), m)
+		if inj != nil && len(placements) > 0 {
+			// Control-channel faults, decided per application in input
+			// order (deterministic draw sequence). A crash models the
+			// client (run-time library) dying mid-quantum: the gang
+			// misses the quantum and its scheduler-side sampling
+			// history is gone when it reconnects. A dropped signal
+			// models a lost unblock: the manager admitted the gang but
+			// it never woke, so its processors idle for one quantum —
+			// the expensive direction of signal loss.
+			present := make(map[*workload.App]bool, len(placements))
+			for _, p := range placements {
+				present[p.Thread.App] = true
+			}
+			lost := make(map[*workload.App]bool)
+			for _, st := range states {
+				if !present[st.app] {
+					continue
+				}
+				if inj.Crash() {
+					lost[st.app] = true
+					st.job.ResetSamples()
+					continue
+				}
+				if inj.DropSignal() {
+					lost[st.app] = true
+				}
+			}
+			if len(lost) > 0 {
+				kept := placements[:0]
+				for _, p := range placements {
+					if !lost[p.Thread.App] {
+						kept = append(kept, p)
+					}
+				}
+				placements = kept
+			}
+		}
 		var step machine.StepResult
 		if len(placements) == 0 {
 			if err := m.Idle(quantum); err != nil {
@@ -295,7 +355,14 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 				default: // SampleRequirements
 					cum = units.Rate(demandCum[st.app])
 				}
-				st.job.PushSample(cum / units.Rate(n))
+				// A lost publish (the run-time library missed its arena
+				// slot) starves the policy of this quantum's sample;
+				// noise perturbs what does get published. Both are
+				// no-ops without an injector.
+				if !inj.DropSample() {
+					perThread := float64(cum / units.Rate(n))
+					st.job.PushSample(units.Rate(inj.PerturbSample(perThread)))
+				}
 				st.runTime += quantum
 				st.trans += appTrans
 			}
@@ -314,6 +381,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 	if res.Quanta > 0 {
 		res.MeanBusUtilization = utilSum / float64(res.Quanta)
 	}
+	res.FaultStats = inj.Stats()
 
 	for _, st := range states {
 		if st.app.Profile.Endless() {
