@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` output into a stable
+// JSON artifact and optionally gates allocation regressions against a
+// checked-in baseline.
+//
+// It reads benchmark output on stdin, writes JSON to -o, and — when
+// -baseline is given — fails (exit 1) if the gated benchmark's
+// allocs/op regressed by more than -tolerance relative to the
+// baseline. Allocations are gated rather than timings because they
+// are bit-stable across CI hardware while ns/op is not.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH_sim.json \
+//	    -baseline BENCH_baseline.json -gate BenchmarkSimQuantum
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every reported unit, including custom
+	// b.ReportMetric units like "trans/us".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8   <iters>   <value> <unit> ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// Parse extracts benchmark results from go test -bench output. Lines
+// that are not benchmark results are ignored. Results are returned
+// sorted by name so the JSON artifact is diff-stable.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %v", sc.Text(), err)
+		}
+		res := Result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value in %q: %v", sc.Text(), err)
+			}
+			unit := fields[i+1]
+			res.Metrics[unit] = val
+			switch unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = val
+			case "allocs/op":
+				res.AllocsOp = val
+			}
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Gate compares the named benchmark's allocs/op between current and
+// baseline and returns an error if it regressed past the tolerance
+// (e.g. 0.20 = fail if more than 20% above baseline).
+func Gate(current, baseline []Result, name string, tolerance float64) error {
+	find := func(rs []Result) (Result, bool) {
+		for _, r := range rs {
+			if r.Name == name {
+				return r, true
+			}
+		}
+		return Result{}, false
+	}
+	cur, ok := find(current)
+	if !ok {
+		return fmt.Errorf("benchjson: gated benchmark %s missing from current run", name)
+	}
+	base, ok := find(baseline)
+	if !ok {
+		return fmt.Errorf("benchjson: gated benchmark %s missing from baseline", name)
+	}
+	limit := base.AllocsOp * (1 + tolerance)
+	if cur.AllocsOp > limit {
+		return fmt.Errorf("benchjson: %s allocs/op regressed: %v > %v (baseline %v +%.0f%%)",
+			name, cur.AllocsOp, limit, base.AllocsOp, tolerance*100)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s allocs/op %v within %v (baseline %v +%.0f%%)\n",
+		name, cur.AllocsOp, limit, base.AllocsOp, tolerance*100)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output JSON path ('-' for stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
+	gateName := flag.String("gate", "BenchmarkSimQuantum", "benchmark whose allocs/op is gated")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional allocs/op regression")
+	flag.Parse()
+
+	results, err := Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines on stdin"))
+	}
+
+	buf, err := json.MarshalIndent(struct {
+		Benchmarks []Result `json:"benchmarks"`
+	}{results}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base struct {
+			Benchmarks []Result `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal(fmt.Errorf("benchjson: bad baseline %s: %v", *baseline, err))
+		}
+		if err := Gate(results, base.Benchmarks, *gateName, *tolerance); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

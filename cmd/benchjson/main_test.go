@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: busaware
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimQuantum-4      	     100	   2652011 ns/op	   36445 B/op	     154 allocs/op
+BenchmarkBusAllocate-4     	20000000	        71.16 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCalibrationSTREAM 	       1	   1234567 ns/op	        29.50 trans/us	      1797 MB/s
+PASS
+ok  	busaware	10.1s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	// Sorted by name, GOMAXPROCS suffix stripped.
+	if rs[0].Name != "BenchmarkBusAllocate" || rs[1].Name != "BenchmarkCalibrationSTREAM" || rs[2].Name != "BenchmarkSimQuantum" {
+		t.Fatalf("wrong order/names: %v %v %v", rs[0].Name, rs[1].Name, rs[2].Name)
+	}
+	sq := rs[2]
+	if sq.Iterations != 100 || sq.NsPerOp != 2652011 || sq.BytesPerOp != 36445 || sq.AllocsOp != 154 {
+		t.Errorf("SimQuantum parsed wrong: %+v", sq)
+	}
+	cal := rs[1]
+	if cal.Metrics["trans/us"] != 29.5 || cal.Metrics["MB/s"] != 1797 {
+		t.Errorf("custom metrics lost: %+v", cal.Metrics)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := []Result{{Name: "BenchmarkSimQuantum", AllocsOp: 100}}
+	ok := []Result{{Name: "BenchmarkSimQuantum", AllocsOp: 119}}
+	if err := Gate(ok, base, "BenchmarkSimQuantum", 0.20); err != nil {
+		t.Errorf("within tolerance rejected: %v", err)
+	}
+	bad := []Result{{Name: "BenchmarkSimQuantum", AllocsOp: 121}}
+	if err := Gate(bad, base, "BenchmarkSimQuantum", 0.20); err == nil {
+		t.Error("regression past tolerance accepted")
+	}
+	if err := Gate(ok, base, "BenchmarkMissing", 0.20); err == nil {
+		t.Error("missing gate benchmark accepted")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"busaware/internal/units"
 )
@@ -168,8 +169,20 @@ type Outcome struct {
 }
 
 // Model evaluates bus contention for co-scheduled thread sets.
+//
+// Equilibria are memoized: demands are piecewise-constant across
+// workload phases, so consecutive micro-steps present the same request
+// vector over and over, and each distinct vector's fixed point is
+// solved once and replayed bit-for-bit from a bounded LRU keyed on the
+// exact float64 bits of the requests. Safe for concurrent use.
 type Model struct {
 	cfg Config
+
+	mu     sync.Mutex
+	cache  *allocCache
+	keyBuf []byte
+	hits   uint64
+	misses uint64
 }
 
 // New builds a Model, validating cfg.
@@ -177,11 +190,19 @@ func New(cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Model{cfg: cfg}, nil
+	return &Model{cfg: cfg, cache: newAllocCache(DefaultCacheSize)}, nil
 }
 
 // Config returns the model's configuration.
 func (m *Model) Config() Config { return m.cfg }
+
+// CacheStats reports the equilibrium cache's hit/miss counts and
+// current size, for perf instrumentation.
+func (m *Model) CacheStats() (hits, misses uint64, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, m.cache.Len()
+}
 
 // SaturationKnee is the utilization above which an outcome is labelled
 // saturated.
@@ -191,11 +212,31 @@ const SaturationKnee = 0.85
 // thread set. A nil or empty request set returns no grants and an idle
 // outcome. Requests with non-positive demand receive full speed.
 func (m *Model) Allocate(reqs []Request) ([]Grant, Outcome) {
+	return m.AllocateInto(nil, reqs)
+}
+
+// AllocateInto is Allocate with a caller-supplied grant buffer: dst's
+// capacity is reused when possible, so a steady-state caller (the
+// machine's micro-step loop) allocates nothing. The returned slice has
+// exactly len(reqs) grants and aliases dst's backing array when it
+// fits.
+func (m *Model) AllocateInto(dst []Grant, reqs []Request) ([]Grant, Outcome) {
 	out := Outcome{Stretch: 1}
 	if len(reqs) == 0 {
 		out.EffectiveCapacity = m.cfg.Capacity
 		return nil, out
 	}
+
+	m.mu.Lock()
+	m.keyBuf = appendKey(m.keyBuf[:0], reqs)
+	if e := m.cache.get(m.keyBuf); e != nil {
+		m.hits++
+		grants := append(dst[:0], e.grants...)
+		out = e.outcome
+		m.mu.Unlock()
+		return grants, out
+	}
+	m.misses++
 
 	masters := 0
 	var offered units.Rate
@@ -213,21 +254,24 @@ func (m *Model) Allocate(reqs []Request) ([]Grant, Outcome) {
 	out.Offered = offered
 
 	dmax := maxDemand(reqs)
-	x := m.solveStretch(reqs, ceff, dmax)
+	x := m.solveStretch(reqs, ceff, dmax, offered)
 	out.Stretch = x
 
-	grants := make([]Grant, len(reqs))
+	grants := dst[:0]
 	var served units.Rate
-	for i, r := range reqs {
+	for _, r := range reqs {
 		sp := m.speedAt(r, x, dmax)
-		grants[i] = Grant{Speed: sp, Rate: units.Rate(math.Max(0, float64(r.Demand))) * units.Rate(sp)}
-		served += grants[i].Rate
+		g := Grant{Speed: sp, Rate: units.Rate(math.Max(0, float64(r.Demand))) * units.Rate(sp)}
+		grants = append(grants, g)
+		served += g.Rate
 	}
 	out.Served = served
 	if ceff > 0 {
 		out.Utilization = float64(served / ceff)
 	}
 	out.Saturated = out.Utilization > SaturationKnee
+	m.cache.put(m.keyBuf, append([]Grant(nil), grants...), out)
+	m.mu.Unlock()
 	return grants, out
 }
 
@@ -306,9 +350,16 @@ func (m *Model) delayCurve(rho float64) float64 {
 // X = delayCurve(served(X)/ceff) by bisection. F(X) = X - delay(...)
 // is strictly increasing: served falls with X, delay rises with
 // served, so -delay rises with X.
-func (m *Model) solveStretch(reqs []Request, ceff, dmax units.Rate) float64 {
+func (m *Model) solveStretch(reqs []Request, ceff, dmax, offered units.Rate) float64 {
 	if ceff <= 0 {
 		return m.cfg.MaxStretch
+	}
+	// Early-out hoisted before the bracket: with no offered load (or a
+	// flat delay curve) the delay at X=1 is exactly 1, so f(1) = 0 and
+	// the bisection below would return 1 anyway — prove it without
+	// scanning reqs or evaluating the curve.
+	if offered <= 0 || m.cfg.QueueFactor == 0 {
+		return 1
 	}
 	f := func(x float64) float64 {
 		rho := float64(m.servedAt(reqs, x, dmax) / ceff)

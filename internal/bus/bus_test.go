@@ -182,7 +182,7 @@ func TestArbitrationPenalty(t *testing.T) {
 func TestZeroCapacityFloorViaMaxStretch(t *testing.T) {
 	cfg := DefaultConfig()
 	m := mustModel(t, cfg)
-	x := m.solveStretch([]Request{{Demand: 10, StallFrac: 1}}, 0, 10)
+	x := m.solveStretch([]Request{{Demand: 10, StallFrac: 1}}, 0, 10, 10)
 	if x != cfg.MaxStretch {
 		t.Errorf("zero-capacity stretch = %v, want MaxStretch", x)
 	}

@@ -1,0 +1,111 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+
+	"busaware/internal/units"
+)
+
+func randReqs(rng *rand.Rand) []Request {
+	n := rng.Intn(8) + 1
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Demand:    units.Rate(rng.Float64() * 30),
+			StallFrac: rng.Float64(),
+		}
+	}
+	return reqs
+}
+
+// Property: the memoized Allocate is bit-identical to an uncached
+// solve for every request vector, on both the miss path (first call)
+// and the hit path (replay), across randomized vectors that overflow
+// the LRU bound many times over.
+func TestCacheBitIdenticalToUncached(t *testing.T) {
+	cached := mustModel(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(42))
+
+	vectors := make([][]Request, 4*DefaultCacheSize)
+	for i := range vectors {
+		vectors[i] = randReqs(rng)
+	}
+
+	check := func(pass string, vecs [][]Request) {
+		for vi, reqs := range vecs {
+			// A fresh model per vector is the uncached reference: its
+			// first solve cannot hit.
+			fresh := mustModel(t, DefaultConfig())
+			wantG, wantO := fresh.Allocate(reqs)
+			gotG, gotO := cached.Allocate(reqs)
+			if gotO != wantO {
+				t.Fatalf("%s: vector %d outcome diverged:\ngot  %+v\nwant %+v", pass, vi, gotO, wantO)
+			}
+			for i := range wantG {
+				if gotG[i] != wantG[i] {
+					t.Fatalf("%s: vector %d grant %d diverged: got %+v want %+v", pass, vi, i, gotG[i], wantG[i])
+				}
+			}
+		}
+	}
+	// The full sequential pass overflows the LRU 4x over, so by the
+	// time any vector would repeat it has been evicted — every call is
+	// a miss-and-re-solve after eviction. The tail pass then replays
+	// the most recently inserted vectors, which are still resident, so
+	// it exercises the hit path against the same fresh-model oracle.
+	check("populate", vectors)
+	check("replay-tail", vectors[len(vectors)-DefaultCacheSize/2:])
+
+	hits, misses, size := cached.CacheStats()
+	if size > DefaultCacheSize {
+		t.Errorf("cache grew past its bound: %d > %d", size, DefaultCacheSize)
+	}
+	if hits < uint64(DefaultCacheSize/2) {
+		t.Errorf("tail replay should hit resident entries: %d hits", hits)
+	}
+	if misses < uint64(len(vectors)) {
+		t.Errorf("eviction never forced a re-solve: %d misses for %d vectors", misses, len(vectors))
+	}
+}
+
+// A hit must replay the identical grants even when the same vector is
+// presented through a different backing slice, and repeated hits keep
+// promoting the entry so a hot vector survives interleaved churn.
+func TestCacheHitSurvivesChurn(t *testing.T) {
+	m := mustModel(t, DefaultConfig())
+	hot := []Request{{Demand: 12, StallFrac: 0.8}, {Demand: 3, StallFrac: 0.4}}
+	wantG, wantO := m.Allocate(hot)
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3*DefaultCacheSize; i++ {
+		m.Allocate(randReqs(rng)) // churn
+		hotCopy := append([]Request(nil), hot...)
+		gotG, gotO := m.Allocate(hotCopy) // keep the hot entry fresh
+		if gotO != wantO {
+			t.Fatalf("churn round %d: outcome diverged", i)
+		}
+		for k := range wantG {
+			if gotG[k] != wantG[k] {
+				t.Fatalf("churn round %d: grant %d diverged", i, k)
+			}
+		}
+	}
+	_, _, size := m.CacheStats()
+	if size > DefaultCacheSize {
+		t.Errorf("cache grew past its bound: %d", size)
+	}
+}
+
+// AllocateInto must not allocate on the hit path.
+func TestAllocateIntoHitPathZeroAllocs(t *testing.T) {
+	m := mustModel(t, DefaultConfig())
+	reqs := []Request{{Demand: 10, StallFrac: 0.9}, {Demand: 2, StallFrac: 0.3}}
+	grants, _ := m.AllocateInto(nil, reqs) // prime
+	avg := testing.AllocsPerRun(100, func() {
+		grants, _ = m.AllocateInto(grants, reqs)
+	})
+	if avg != 0 {
+		t.Errorf("hit path allocates %v times per call, want 0", avg)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// formatFig2Rows renders Figure 2 rows with exact bit-level precision:
+// times as raw int64 microseconds and improvements as hexadecimal
+// floats, so any change to a single output bit fails the comparison.
+func formatFig2Rows(rows []Fig2Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s|%d|%d|%d|%x|%x\n",
+			r.App,
+			int64(r.LinuxTurnaround), int64(r.LQTurnaround), int64(r.QWTurnaround),
+			r.LQImprovement, r.QWImprovement)
+	}
+	return b.String()
+}
+
+// TestFigure2MixedGolden pins the Figure 2C panel byte-for-byte. The
+// golden file was generated before the bus-solver memoization and the
+// zero-allocation quantum loop landed, so this test proves those
+// optimizations did not change a single output bit. Regenerate with
+// `go test -run TestFigure2MixedGolden -update ./internal/experiments`
+// only when an intentional model change lands.
+func TestFigure2MixedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 2C panel in -short mode")
+	}
+	rows, err := Figure2(SetMixed, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := formatFig2Rows(rows)
+	path := filepath.Join("testdata", "figure2_mixed.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Figure2(SetMixed) rows diverged from golden output:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -271,6 +271,26 @@ func (in *Injector) DelaySignal() bool {
 	return in.draw(in.cfgSnapshot().SignalDelay, &in.stats.SignalsDelayed)
 }
 
+// CrashEnabled reports whether the crash fault class can fire at all
+// (nonzero rate). Callers use it to skip per-quantum bookkeeping that
+// exists only to service crash decisions; with the class at rate zero
+// the skip is behaviour-preserving because Crash would draw nothing.
+func (in *Injector) CrashEnabled() bool {
+	if in == nil {
+		return false
+	}
+	return in.cfgSnapshot().CrashProb > 0
+}
+
+// SignalLossEnabled reports whether the signal-loss class can fire,
+// the bookkeeping gate analogous to CrashEnabled.
+func (in *Injector) SignalLossEnabled() bool {
+	if in == nil {
+		return false
+	}
+	return in.cfgSnapshot().SignalLoss > 0
+}
+
 // Crash reports whether one application's client crashes this quantum.
 func (in *Injector) Crash() bool {
 	if in == nil {

@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"testing"
+
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+// BenchmarkMachineStep measures one fully-loaded scheduling quantum on
+// the default 4-CPU machine: ten micro-steps of bus arbitration over a
+// mixed bandwidth-heavy / bandwidth-light co-schedule. The antagonist
+// profiles are endless, so the thread set is in steady state for the
+// whole run — this is the per-quantum cost the simulator pays in its
+// inner loop.
+func BenchmarkMachineStep(b *testing.B) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mustApp := func(name, instance string) *workload.App {
+		p, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("no profile %q", name)
+		}
+		return workload.NewApp(p, instance)
+	}
+	placements := []Placement{
+		{Thread: mustApp("BBMA", "BBMA#1").Threads[0], CPU: 0},
+		{Thread: mustApp("BBMA", "BBMA#2").Threads[0], CPU: 1},
+		{Thread: mustApp("nBBMA", "nBBMA#1").Threads[0], CPU: 2},
+		{Thread: mustApp("nBBMA", "nBBMA#2").Threads[0], CPU: 3},
+	}
+	quantum := 100 * units.Millisecond
+	if _, err := m.Step(placements, quantum); err != nil { // warm caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Step(placements, quantum); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -130,7 +130,9 @@ type StepResult struct {
 	// ContextSwitches counts processors whose occupant changed since
 	// the previous slice.
 	ContextSwitches int
-	Threads         []ThreadStep
+	// Threads aliases the machine's reusable scratch: the slice is
+	// valid until the next Step call on the same Machine.
+	Threads []ThreadStep
 	// BusyCPUs is the number of processors that executed a thread.
 	BusyCPUs int
 }
@@ -143,6 +145,15 @@ type Machine struct {
 	lastCPU    map[*workload.Thread]int
 	lastThread []*workload.Thread // per-CPU most recent occupant
 	busyTime   []units.Time       // per-CPU accumulated busy time
+
+	// Per-call scratch, reused across Steps so the quantum loop
+	// allocates nothing beyond the returned ThreadStep slice.
+	cpuUsed  []bool
+	thrUsed  map[*workload.Thread]bool
+	busyCore []int
+	reqs     []bus.Request
+	grants   []bus.Grant
+	steps    []ThreadStep
 }
 
 // New builds a Machine.
@@ -163,6 +174,12 @@ func New(cfg Config) (*Machine, error) {
 		lastCPU:    make(map[*workload.Thread]int),
 		lastThread: make([]*workload.Thread, cfg.NumCPUs),
 		busyTime:   make([]units.Time, cfg.NumCPUs),
+		cpuUsed:    make([]bool, cfg.NumCPUs),
+		thrUsed:    make(map[*workload.Thread]bool, cfg.NumCPUs),
+		busyCore:   make([]int, (cfg.NumCPUs+1)/2),
+		reqs:       make([]bus.Request, 0, cfg.NumCPUs),
+		grants:     make([]bus.Grant, 0, cfg.NumCPUs),
+		steps:      make([]ThreadStep, 0, cfg.NumCPUs),
 	}, nil
 }
 
@@ -172,9 +189,17 @@ func (m *Machine) Config() Config { return m.cfg }
 // Now returns the current simulated time.
 func (m *Machine) Now() units.Time { return m.now }
 
-// BusyTime returns the accumulated busy time of each processor.
+// BusyTime returns the accumulated busy time of each processor in a
+// fresh slice. Hot paths should prefer AppendBusyTime.
 func (m *Machine) BusyTime() []units.Time {
-	return append([]units.Time(nil), m.busyTime...)
+	return m.AppendBusyTime(nil)
+}
+
+// AppendBusyTime appends each processor's accumulated busy time to dst
+// and returns the extended slice, reusing dst's capacity — the
+// non-allocating variant of BusyTime.
+func (m *Machine) AppendBusyTime(dst []units.Time) []units.Time {
+	return append(dst, m.busyTime...)
 }
 
 // LastCPU returns where the thread last ran, or -1 if it never ran.
@@ -195,8 +220,10 @@ func (m *Machine) Step(placements []Placement, dt units.Time) (StepResult, error
 	if len(placements) > m.cfg.NumCPUs {
 		return StepResult{}, fmt.Errorf("machine: %d placements on %d CPUs", len(placements), m.cfg.NumCPUs)
 	}
-	cpuUsed := make(map[int]bool, len(placements))
-	thrUsed := make(map[*workload.Thread]bool, len(placements))
+	for i := range m.cpuUsed {
+		m.cpuUsed[i] = false
+	}
+	clear(m.thrUsed)
 	for _, p := range placements {
 		if p.Thread == nil {
 			return StepResult{}, errors.New("machine: nil thread placed")
@@ -204,19 +231,23 @@ func (m *Machine) Step(placements []Placement, dt units.Time) (StepResult, error
 		if p.CPU < 0 || p.CPU >= m.cfg.NumCPUs {
 			return StepResult{}, fmt.Errorf("machine: CPU %d out of range", p.CPU)
 		}
-		if cpuUsed[p.CPU] {
+		if m.cpuUsed[p.CPU] {
 			return StepResult{}, fmt.Errorf("machine: CPU %d double-booked", p.CPU)
 		}
-		if thrUsed[p.Thread] {
+		if m.thrUsed[p.Thread] {
 			return StepResult{}, fmt.Errorf("machine: thread %s/%d placed twice", p.Thread.App.Instance, p.Thread.Index)
 		}
-		cpuUsed[p.CPU] = true
-		thrUsed[p.Thread] = true
+		m.cpuUsed[p.CPU] = true
+		m.thrUsed[p.Thread] = true
 	}
 
+	scratch := m.steps[:cap(m.steps)]
+	for i := range scratch {
+		scratch[i] = ThreadStep{}
+	}
 	res := StepResult{
 		Elapsed:  dt,
-		Threads:  make([]ThreadStep, len(placements)),
+		Threads:  scratch[:len(placements)],
 		BusyCPUs: len(placements),
 	}
 	for i, p := range placements {
@@ -244,7 +275,10 @@ func (m *Machine) Step(placements []Placement, dt units.Time) (StepResult, error
 	// Core occupancy for SMT resource sharing.
 	var busyCore []int
 	if m.cfg.SMTSiblings == 2 {
-		busyCore = make([]int, (m.cfg.NumCPUs+1)/2)
+		busyCore = m.busyCore
+		for i := range busyCore {
+			busyCore[i] = 0
+		}
 		for _, p := range placements {
 			busyCore[p.CPU/2]++
 		}
@@ -259,7 +293,7 @@ func (m *Machine) Step(placements []Placement, dt units.Time) (StepResult, error
 	remaining := dt
 	var utilSum float64
 	var servedSum units.Rate
-	reqs := make([]bus.Request, len(placements))
+	reqs := m.reqs[:len(placements)] // cap is NumCPUs >= len(placements)
 	for s := 0; s < steps; s++ {
 		sub := m.cfg.MicroStep
 		if sub > remaining {
@@ -272,7 +306,8 @@ func (m *Machine) Step(placements []Placement, dt units.Time) (StepResult, error
 		for i, p := range placements {
 			reqs[i] = bus.Request{Demand: p.Thread.Demand(), StallFrac: p.Thread.StallFrac()}
 		}
-		grants, out := m.busModel.Allocate(reqs)
+		grants, out := m.busModel.AllocateInto(m.grants, reqs)
+		m.grants = grants[:0]
 		for i, p := range placements {
 			g := grants[i]
 			speed := g.Speed

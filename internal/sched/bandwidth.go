@@ -58,6 +58,19 @@ type BandwidthAware struct {
 	staleK    int
 
 	list jobList
+
+	// Selection scratch, reused every quantum. The selection loop is
+	// O(n²) fitness probes; caching each job's estimator value (and
+	// runnable-thread count and degradation flag) here once per
+	// Schedule call keeps every probe O(1) and the loop allocation-
+	// free. Valid only within one Select call.
+	est      []units.Rate
+	nThreads []int
+	degr     []bool
+	chosen   []bool
+	selected []*Job
+	ran      map[*Job]bool
+	assign   assignScratch
 }
 
 // Option tweaks a BandwidthAware scheduler.
@@ -273,27 +286,43 @@ func Fitness(abbwPerProc, bbwPerThread units.Rate) float64 {
 // candidates that would overshoot the remaining bus budget, and an
 // optional stale fallback (WithStaleFallback) demotes jobs whose
 // estimates went stale to round-robin admission.
+// The returned slice aliases internal scratch and is valid until the
+// next Select or Schedule call.
 func (b *BandwidthAware) Select() []*Job {
 	jobs := b.list.all()
-	selected := make([]*Job, 0, 4)
-	chosen := make(map[*Job]bool)
+	// Cache each job's estimator value, runnable-thread count and
+	// degradation flag once: none of them can change during the
+	// selection (samples arrive only between quanta), and the window
+	// estimators cost O(W) per evaluation while the loop below probes
+	// each candidate once per free processor.
+	b.est = b.est[:0]
+	b.nThreads = b.nThreads[:0]
+	b.degr = b.degr[:0]
+	b.chosen = b.chosen[:0]
+	for _, j := range jobs {
+		b.est = append(b.est, b.estimate(j))
+		b.nThreads = append(b.nThreads, runnableThreads(j))
+		b.degr = append(b.degr, b.degraded(j))
+		b.chosen = append(b.chosen, false)
+	}
+	selected := b.selected[:0]
 	freeCPUs := b.numCPUs
 	allocatedThreads := 0
 	var allocatedBW units.Rate
 
 	// The application at the top of the list is allocated by default:
 	// this guarantees freedom from bandwidth starvation.
-	for _, j := range jobs {
-		n := runnableThreads(j)
+	for i, j := range jobs {
+		n := b.nThreads[i]
 		if n == 0 || n > freeCPUs {
 			continue
 		}
 		selected = append(selected, j)
-		chosen[j] = true
+		b.chosen[i] = true
 		freeCPUs -= n
 		allocatedThreads += n
-		if !b.degraded(j) {
-			allocatedBW += b.estimate(j) * units.Rate(n)
+		if !b.degr[i] {
+			allocatedBW += b.est[i] * units.Rate(n)
 		}
 		break
 	}
@@ -301,69 +330,72 @@ func (b *BandwidthAware) Select() []*Job {
 	for freeCPUs > 0 {
 		remaining := b.capacity - allocatedBW
 		abbwPerProc := remaining / units.Rate(freeCPUs)
-		var best *Job
+		best := -1
 		bestFit := -1.0
-		var fallback *Job
+		fallback := -1
 		fallbackFit := -1.0
 		// rrPick is the first degraded candidate in list order: a job
 		// whose estimate went stale beyond the fallback horizon is not
 		// scheduled on garbage, but stays admissible round-robin style
 		// so the admission loop degrades gracefully instead of
 		// starving it or deadlocking.
-		var rrPick *Job
+		rrPick := -1
 		var allocAvg units.Rate
 		if allocatedThreads > 0 {
 			allocAvg = allocatedBW / units.Rate(allocatedThreads)
 		}
-		for _, j := range jobs {
-			if chosen[j] {
+		for i := range jobs {
+			if b.chosen[i] {
 				continue
 			}
-			n := runnableThreads(j)
+			n := b.nThreads[i]
 			if n == 0 || n > freeCPUs {
 				continue
 			}
-			if b.degraded(j) {
-				if rrPick == nil {
-					rrPick = j
+			if b.degr[i] {
+				if rrPick < 0 {
+					rrPick = i
 				}
 				continue
 			}
-			est := b.estimate(j)
+			est := b.est[i]
 			fits := !b.guard || est*units.Rate(n) <= remaining+b.capacity*units.Rate(b.slack)
 			if fits {
 				if fit := Fitness(abbwPerProc, est); fit > bestFit {
 					bestFit = fit
-					best = j
+					best = i
 				}
 			} else if fit := Fitness(allocAvg, est); fit > fallbackFit {
 				fallbackFit = fit
-				fallback = j
+				fallback = i
 			}
 		}
-		if best == nil {
+		if best < 0 {
 			best = fallback
 		}
-		if best == nil {
+		if best < 0 {
 			best = rrPick
 		}
-		if best == nil {
+		if best < 0 {
 			break
 		}
-		n := runnableThreads(best)
-		selected = append(selected, best)
-		chosen[best] = true
+		n := b.nThreads[best]
+		selected = append(selected, jobs[best])
+		b.chosen[best] = true
 		freeCPUs -= n
 		allocatedThreads += n
-		if !b.degraded(best) {
-			allocatedBW += b.estimate(best) * units.Rate(n)
+		if !b.degr[best] {
+			allocatedBW += b.est[best] * units.Rate(n)
 		}
 	}
+	b.selected = selected[:0]
 	return selected
 }
 
 // Schedule implements Scheduler: select applications, rotate them to
 // the list tail, and lay their threads out with affinity preserved.
+// The returned placements alias internal scratch and are valid until
+// the next Schedule call.
 func (b *BandwidthAware) Schedule(now units.Time, aff Affinity) []machine.Placement {
 	if b.staleK > 0 {
 		for _, j := range b.list.all() {
@@ -371,13 +403,17 @@ func (b *BandwidthAware) Schedule(now units.Time, aff Affinity) []machine.Placem
 		}
 	}
 	selected := b.Select()
-	ran := make(map[*Job]bool, len(selected))
+	if b.ran == nil {
+		b.ran = make(map[*Job]bool, len(selected))
+	} else {
+		clear(b.ran)
+	}
 	for _, j := range selected {
-		ran[j] = true
+		b.ran[j] = true
 		if b.staleK > 0 {
 			j.noteScheduled()
 		}
 	}
-	b.list.rotateToTail(ran)
-	return assignCPUs(selected, aff, b.numCPUs)
+	b.list.rotateToTail(b.ran)
+	return assignCPUsInto(&b.assign, selected, aff, b.numCPUs)
 }

@@ -156,6 +156,9 @@ func (j *Job) TrueRate() units.Rate {
 // end-of-quantum rotation semantics.
 type jobList struct {
 	jobs []*Job
+	// moved is rotation scratch, reused so the per-quantum rotation
+	// allocates nothing in steady state.
+	moved []*Job
 }
 
 func (l *jobList) add(j *Job)  { l.jobs = append(l.jobs, j) }
@@ -174,12 +177,13 @@ func (l *jobList) remove(j *Job) {
 // rotateToTail moves the given jobs (those that just ran) to the end of
 // the list, preserving their relative order — "the previously running
 // jobs are then transferred to the end of the applications list".
+// The partition is done in place with a reusable scratch buffer.
 func (l *jobList) rotateToTail(ran map[*Job]bool) {
 	if len(ran) == 0 {
 		return
 	}
-	kept := make([]*Job, 0, len(l.jobs))
-	moved := make([]*Job, 0, len(ran))
+	kept := l.jobs[:0]
+	moved := l.moved[:0]
 	for _, j := range l.jobs {
 		if ran[j] {
 			moved = append(moved, j)
@@ -188,18 +192,39 @@ func (l *jobList) rotateToTail(ran map[*Job]bool) {
 		}
 	}
 	l.jobs = append(kept, moved...)
+	l.moved = moved[:0]
 }
 
-// assignCPUs lays the threads of the selected jobs onto processors,
-// preferring each thread's previous processor to preserve affinity.
-// It assumes the caller verified the threads fit.
+// assignScratch holds the reusable buffers of assignCPUsInto, so a
+// scheduler's per-quantum layout pass allocates nothing in steady
+// state.
+type assignScratch struct {
+	free       []bool
+	placements []machine.Placement
+	homeless   []*workload.Thread
+}
+
+// assignCPUs lays the threads of the selected jobs onto processors
+// with fresh buffers; hot paths keep an assignScratch and call
+// assignCPUsInto instead.
 func assignCPUs(selected []*Job, aff Affinity, numCPUs int) []machine.Placement {
-	free := make([]bool, numCPUs)
+	return assignCPUsInto(new(assignScratch), selected, aff, numCPUs)
+}
+
+// assignCPUsInto lays the threads of the selected jobs onto processors,
+// preferring each thread's previous processor to preserve affinity.
+// It assumes the caller verified the threads fit. The returned slice
+// aliases sc's buffers and is valid until the next call with sc.
+func assignCPUsInto(sc *assignScratch, selected []*Job, aff Affinity, numCPUs int) []machine.Placement {
+	if cap(sc.free) < numCPUs {
+		sc.free = make([]bool, numCPUs)
+	}
+	free := sc.free[:numCPUs]
 	for i := range free {
 		free[i] = true
 	}
-	var placements []machine.Placement
-	var homeless []*workload.Thread
+	placements := sc.placements[:0]
+	homeless := sc.homeless[:0]
 
 	for _, j := range selected {
 		for _, t := range j.App.Threads {
@@ -229,6 +254,8 @@ func assignCPUs(selected []*Job, aff Affinity, numCPUs int) []machine.Placement 
 		free[cpu] = false
 		placements = append(placements, machine.Placement{Thread: t, CPU: cpu})
 	}
+	sc.placements = placements[:0]
+	sc.homeless = homeless[:0]
 	return placements
 }
 

@@ -41,6 +41,22 @@ func TestZeroFaultConfigInert(t *testing.T) {
 	if clean.FaultStats != (faults.Stats{}) {
 		t.Errorf("clean run reported faults: %+v", clean.FaultStats)
 	}
+
+	// Inert must also mean free: with every fault class gated off, the
+	// quantum loop reuses its scratch and allocates nothing, so a whole
+	// run's allocations are the fixed setup cost (apps, machine,
+	// policy, result) regardless of how many quanta it simulates. The
+	// workload above runs thousands of quanta; even one allocation per
+	// quantum would blow this bound by an order of magnitude.
+	const setupBound = 200 // measured ~121 incl. mixedApps construction
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Run(Config{Faults: faults.Config{Seed: 123}}, sched.NewQuantaWindow(4, 29.5), mixedApps(t)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > setupBound {
+		t.Errorf("zero-fault run allocates %.0f times, want <= %d (per-quantum allocations crept back in)", allocs, setupBound)
+	}
 }
 
 // Fault injection is deterministic per seed and actually injects.

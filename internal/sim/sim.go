@@ -159,12 +159,22 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 
 	// Wire each application to the scheduler through a Job, and each
 	// thread to a perfctr monitor — the CPU manager's sampling path.
+	// The per-quantum fields are scratch reused across quanta so the
+	// steady-state loop allocates nothing.
 	type appState struct {
 		app      *workload.App
 		job      *sched.Job
 		monitors []*perfctr.Monitor
 		runTime  units.Time
 		trans    uint64
+
+		// Per-quantum scratch: how many of the app's threads ran, the
+		// contention-corrected demand they accumulated, and the
+		// control-fault flags. All reset before the next quantum.
+		ranThreads int
+		demandCum  float64
+		present    bool
+		lost       bool
 	}
 	states := make([]*appState, len(apps))
 	byApp := make(map[*workload.App]*appState, len(apps))
@@ -242,7 +252,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		}
 		pending = kept
 		placements := s.Schedule(m.Now(), m)
-		if inj != nil && len(placements) > 0 {
+		if len(placements) > 0 && (inj.CrashEnabled() || inj.SignalLossEnabled()) {
 			// Control-channel faults, decided per application in input
 			// order (deterministic draw sequence). A crash models the
 			// client (run-time library) dying mid-quantum: the gang
@@ -250,33 +260,41 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 			// history is gone when it reconnects. A dropped signal
 			// models a lost unblock: the manager admitted the gang but
 			// it never woke, so its processors idle for one quantum —
-			// the expensive direction of signal loss.
-			present := make(map[*workload.App]bool, len(placements))
+			// the expensive direction of signal loss. The whole block
+			// is gated on those two fault classes having nonzero
+			// rates: with them disabled no flag is touched, no draw is
+			// made, and the clean path allocates nothing.
 			for _, p := range placements {
-				present[p.Thread.App] = true
+				byApp[p.Thread.App].present = true
 			}
-			lost := make(map[*workload.App]bool)
+			anyLost := false
 			for _, st := range states {
-				if !present[st.app] {
+				if !st.present {
 					continue
 				}
+				st.present = false
 				if inj.Crash() {
-					lost[st.app] = true
+					st.lost = true
+					anyLost = true
 					st.job.ResetSamples()
 					continue
 				}
 				if inj.DropSignal() {
-					lost[st.app] = true
+					st.lost = true
+					anyLost = true
 				}
 			}
-			if len(lost) > 0 {
+			if anyLost {
 				kept := placements[:0]
 				for _, p := range placements {
-					if !lost[p.Thread.App] {
+					if !byApp[p.Thread.App].lost {
 						kept = append(kept, p)
 					}
 				}
 				placements = kept
+				for _, st := range states {
+					st.lost = false
+				}
 			}
 		}
 		var step machine.StepResult
@@ -325,15 +343,14 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		// but only applications that ran this quantum contribute a
 		// bandwidth sample, per the paper's "updates the bus bandwidth
 		// consumption statistics for all running jobs".
-		ranThreads := make(map[*workload.App]int)
-		demandCum := make(map[*workload.App]float64)
 		for _, ts := range step.Threads {
-			ranThreads[ts.Thread.App]++
+			st := byApp[ts.Thread.App]
+			st.ranThreads++
 			if ts.Speed > 0 {
 				// Contention-corrected requirement: consumption divided
 				// by the achieved speed fraction recovers the rate the
 				// thread would sustain uncontended.
-				demandCum[ts.Thread.App] += float64(ts.Rate) / ts.Speed
+				st.demandCum += float64(ts.Rate) / ts.Speed
 			}
 		}
 		for _, st := range states {
@@ -345,7 +362,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 				}
 				appTrans += uint64(rates[perfctr.EventBusTransAny] * float64(quantum))
 			}
-			if n := ranThreads[st.app]; n > 0 {
+			if n := st.ranThreads; n > 0 {
 				// BBW/thread: equipartition the application's bandwidth
 				// among its threads.
 				var cum units.Rate
@@ -353,7 +370,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 				case SampleConsumption:
 					cum = units.Rate(float64(appTrans) / float64(quantum))
 				default: // SampleRequirements
-					cum = units.Rate(demandCum[st.app])
+					cum = units.Rate(st.demandCum)
 				}
 				// A lost publish (the run-time library missed its arena
 				// slot) starves the policy of this quantum's sample;
@@ -365,6 +382,8 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 				}
 				st.runTime += quantum
 				st.trans += appTrans
+				st.ranThreads = 0
+				st.demandCum = 0
 			}
 		}
 

@@ -15,6 +15,7 @@ type Window struct {
 	head int // index of the slot the next Push writes
 	n    int // number of valid samples, n <= len(buf)
 	sum  float64
+	mean float64 // memoized Mean, maintained by Push and Reset
 }
 
 // NewWindow returns a Window holding at most capacity samples.
@@ -34,6 +35,9 @@ func (w *Window) Cap() int { return len(w.buf) }
 func (w *Window) Len() int { return w.n }
 
 // Push appends a sample, evicting the oldest if the window is full.
+// The mean is memoized here, so the samples change only at Push (and
+// Reset) while Mean itself stays O(1) — the scheduler's selection loop
+// probes Mean many times per quantum between pushes.
 func (w *Window) Push(x float64) {
 	if w.n == len(w.buf) {
 		w.sum -= w.buf[w.head]
@@ -46,14 +50,25 @@ func (w *Window) Push(x float64) {
 	if w.head == len(w.buf) {
 		w.head = 0
 	}
+	w.mean = w.computeMean()
 }
 
 // Mean returns the average of the samples currently held, or 0 if the
-// window is empty. To bound floating-point drift from the incremental
-// sum, Mean recomputes exactly when the window is small; for the
-// window lengths used by the scheduler (<= a few dozen) this is the
-// common case and keeps results reproducible.
+// window is empty. The value is the exact summation computed at the
+// last Push (see computeMean), returned in O(1).
 func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.mean
+}
+
+// computeMean evaluates the documented exact-summation semantics: to
+// bound floating-point drift from the incremental sum it recomputes
+// exactly when the window is small; for the window lengths used by
+// the scheduler (<= a few dozen) this is the common case and keeps
+// results reproducible.
+func (w *Window) computeMean() float64 {
 	if w.n == 0 {
 		return 0
 	}
@@ -93,12 +108,19 @@ func (w *Window) at(i int) float64 {
 }
 
 // Samples returns the held samples oldest-first in a fresh slice.
+// Hot paths should prefer AppendSamples.
 func (w *Window) Samples() []float64 {
-	out := make([]float64, w.n)
+	return w.AppendSamples(make([]float64, 0, w.n))
+}
+
+// AppendSamples appends the held samples oldest-first to dst and
+// returns the extended slice, reusing dst's capacity — the
+// non-allocating variant of Samples.
+func (w *Window) AppendSamples(dst []float64) []float64 {
 	for i := 0; i < w.n; i++ {
-		out[i] = w.at(i)
+		dst = append(dst, w.at(i))
 	}
-	return out
+	return dst
 }
 
 // Reset discards all samples.
@@ -106,6 +128,7 @@ func (w *Window) Reset() {
 	w.n = 0
 	w.head = 0
 	w.sum = 0
+	w.mean = 0
 	for i := range w.buf {
 		w.buf[i] = 0
 	}

@@ -166,3 +166,83 @@ func TestEWMABoundedProperty(t *testing.T) {
 		}
 	}
 }
+
+// The memoized Mean must be bit-identical to the unmemoized exact
+// computation under arbitrary Push/Mean interleavings, in both
+// regimes: the small-window exact resummation (n <= 64) and the large
+// -window incremental sum. Reset must invalidate the memo.
+func TestWindowMeanMemoBitIdentical(t *testing.T) {
+	// unmemoized replicates the documented semantics from first
+	// principles: oldest-first resummation for small windows, the
+	// incremental sum (tracked by an independent shadow) otherwise.
+	type shadow struct {
+		hist []float64
+		sum  float64
+	}
+	unmemoized := func(s *shadow, capacity int) float64 {
+		n := len(s.hist)
+		if n > capacity {
+			n = capacity
+		}
+		if n == 0 {
+			return 0
+		}
+		if n <= 64 {
+			var sum float64
+			for _, x := range s.hist[len(s.hist)-n:] {
+				sum += x
+			}
+			return sum / float64(n)
+		}
+		return s.sum / float64(n)
+	}
+	push := func(s *shadow, capacity int, x float64) {
+		if len(s.hist) >= capacity {
+			s.sum -= s.hist[len(s.hist)-capacity]
+		}
+		s.sum += x
+		s.hist = append(s.hist, x)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for _, capacity := range []int{1, 5, 64, 100} {
+		w := NewWindow(capacity)
+		sh := &shadow{}
+		for i := 0; i < 3*capacity+10; i++ {
+			x := rng.NormFloat64() * 1e3
+			w.Push(x)
+			push(sh, capacity, x)
+			// Two probes per push: Mean must be pure and stable
+			// between pushes.
+			want := unmemoized(sh, capacity)
+			if got := w.Mean(); got != want {
+				t.Fatalf("cap %d push %d: Mean() = %x, unmemoized = %x", capacity, i, got, want)
+			}
+			if got := w.Mean(); got != want {
+				t.Fatalf("cap %d push %d: second Mean() probe diverged", capacity, i)
+			}
+		}
+		w.Reset()
+		if w.Mean() != 0 {
+			t.Fatalf("cap %d: Mean after Reset = %v, want 0", capacity, w.Mean())
+		}
+		w.Push(42)
+		if w.Mean() != 42 {
+			t.Fatalf("cap %d: Mean after Reset+Push = %v, want 42", capacity, w.Mean())
+		}
+	}
+}
+
+// Mean between pushes must be O(1) and allocation-free — the scheduler
+// probes it many times per quantum.
+func TestWindowMeanZeroAllocs(t *testing.T) {
+	w := NewWindow(5)
+	for i := 0; i < 7; i++ {
+		w.Push(float64(i))
+	}
+	var sink float64
+	if avg := testing.AllocsPerRun(100, func() { sink = w.Mean() }); avg != 0 {
+		t.Errorf("Mean allocates %v times per call, want 0", avg)
+	}
+	_ = sink
+}
