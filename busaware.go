@@ -92,6 +92,11 @@ func NewInstance(p Profile, instance string) *App {
 // Instances creates n numbered instances of a profile.
 func Instances(p Profile, n int) []*App { return workload.Instances(p, n) }
 
+// ParseApps expands a workload spec like "CG x2, BBMA x4" into
+// application instances — the grammar shared by the smpsim CLI and the
+// smpsimd HTTP daemon (see workload.ParseSpec).
+func ParseApps(spec string) ([]*App, error) { return workload.ParseSpec(spec) }
+
 // Policy names accepted by NewScheduler.
 const (
 	PolicyLatestQuantum = "latest"

@@ -1,0 +1,312 @@
+// Command smpload is the closed-loop load driver for smpsimd: N
+// concurrent clients each issue requests from a fixed mix back to
+// back, and the run's throughput, latency percentiles, status-code
+// counts and byte-identity checks are emitted as a JSON artifact
+// (smpload's analogue of BENCH_sim.json).
+//
+// Closed-loop means each client waits for its response before sending
+// the next request, so offered load adapts to the server instead of
+// piling up — overload then shows up as 429s (counted separately, and
+// expected once clients exceed queue + workers), not as timeouts.
+//
+// The mix is a semicolon-separated list of workload specs in the
+// shared -apps grammar, crossed with the -policies list; request i
+// always targets entry i mod len(mix). Because the simulator is
+// deterministic and smpsimd canonicalizes requests, every repetition
+// of a mix entry must return a byte-identical body whether it was
+// computed or served from cache; smpload records the first body per
+// (entry, seed-variant) and counts any later divergence as a mismatch
+// (and exits non-zero).
+//
+// -spread N rotates the seed over N variants per entry, turning the
+// mix into N times as many distinct cells. With N larger than the
+// server's cache-warm working set this defeats the response cache and
+// keeps the pool computing — the overload scenario that makes 429
+// shedding observable from the outside.
+//
+// Usage:
+//
+//	smpload -addr http://localhost:8080 -clients 100 -requests 500 \
+//	  -mix "CG x2, BBMA x4; Raytrace x2, nBBMA x4" -policies window,latest \
+//	  -out LOAD_sim.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type mixEntry struct {
+	Spec   string
+	Policy string
+	Seed   int64
+	Name   string // "<policy>/<spec>" for reporting
+
+	mu    sync.Mutex
+	first map[int64][]byte // first response body per seed variant (the reference)
+}
+
+// body renders the request JSON for one seed variant.
+func (e *mixEntry) body(variant int64) ([]byte, error) {
+	return json.Marshal(struct {
+		Apps   string `json:"apps"`
+		Policy string `json:"policy"`
+		Seed   int64  `json:"seed"`
+	}{e.Spec, e.Policy, e.Seed + variant})
+}
+
+// result is one request's outcome.
+type result struct {
+	code    int // 0 = transport error
+	latency time.Duration
+	mixIdx  int
+	match   bool // body matched the entry's reference (200s only)
+}
+
+// Summary is the JSON artifact smpload emits.
+type Summary struct {
+	Clients     int            `json:"clients"`
+	Requests    int            `json:"requests"`
+	DurationSec float64        `json:"duration_sec"`
+	Throughput  float64        `json:"throughput_rps"`
+	Codes       map[string]int `json:"codes"`
+	// Errors counts transport-level failures (connection refused...).
+	Errors int `json:"errors"`
+	// Mismatches counts 200 responses whose body differed from the
+	// first response for the same mix entry — must be zero against a
+	// correct server.
+	Mismatches int `json:"mismatches"`
+	// Shed is the 429 count, broken out since backpressure is expected
+	// behaviour under overload, not failure.
+	Shed int `json:"shed"`
+	// LatencyMs covers successful (200) requests only.
+	LatencyMs Percentiles `json:"latency_ms"`
+	Mix       []string    `json:"mix"`
+}
+
+// Percentiles summarizes a latency distribution in milliseconds.
+type Percentiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "smpsimd base URL")
+	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
+	requests := flag.Int("requests", 100, "total requests across all clients")
+	mix := flag.String("mix", "CG x2, BBMA x4; Raytrace x2, nBBMA x4", "semicolon-separated workload specs")
+	policies := flag.String("policies", "window", "comma-separated policies crossed with the mix")
+	seed := flag.Int64("seed", 1, "base seed sent with every request")
+	spread := flag.Int64("spread", 1, "rotate the seed over N variants per mix entry; >1 forces distinct cells (cache misses), the overload scenario")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+	out := flag.String("out", "", "write the JSON summary to this file as well as stdout")
+	strict := flag.Bool("strict", false, "also fail on any non-200 (including 429s)")
+	flag.Parse()
+
+	entries, err := buildMix(*mix, *policies, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *clients < 1 || *requests < 1 {
+		fatal(fmt.Errorf("need at least one client and one request"))
+	}
+	if *spread < 1 {
+		fatal(fmt.Errorf("-spread must be >= 1"))
+	}
+
+	// The default transport keeps only 2 idle connections per host, so
+	// beyond 2 clients every request would redial and the measured
+	// latency would be connection churn, not server behaviour. Size the
+	// keep-alive pool to the client count so each closed-loop client
+	// keeps its own warm connection.
+	httpc := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *clients,
+			MaxIdleConnsPerHost: *clients,
+		},
+	}
+	results := make([]result, *requests)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				idx := next
+				if idx >= len(results) {
+					mu.Unlock()
+					return
+				}
+				next++
+				mu.Unlock()
+				// Deterministic request mix: the i-th request overall
+				// always targets the same entry and seed variant, so a
+				// rerun offers the identical request stream.
+				e := entries[idx%len(entries)]
+				variant := int64(idx/len(entries)) % *spread
+				results[idx] = issue(httpc, *addr, e, idx%len(entries), variant)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := summarize(results, entries, *clients, elapsed)
+	body, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	body = append(body, '\n')
+	os.Stdout.Write(body)
+	if *out != "" {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if s.Mismatches > 0 {
+		fatal(fmt.Errorf("%d responses diverged from their first occurrence", s.Mismatches))
+	}
+	if s.Errors > 0 {
+		fatal(fmt.Errorf("%d transport errors", s.Errors))
+	}
+	if *strict && s.Codes["200"] != s.Requests {
+		fatal(fmt.Errorf("strict: %d of %d requests not 200", s.Requests-s.Codes["200"], s.Requests))
+	}
+}
+
+// buildMix crosses specs with policies into request templates.
+func buildMix(mix, policies string, seed int64) ([]*mixEntry, error) {
+	var entries []*mixEntry
+	for _, spec := range strings.Split(mix, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		for _, policy := range strings.Split(policies, ",") {
+			policy = strings.TrimSpace(policy)
+			if policy == "" {
+				continue
+			}
+			entries = append(entries, &mixEntry{
+				Spec:   spec,
+				Policy: policy,
+				Seed:   seed,
+				Name:   policy + "/" + spec,
+				first:  map[int64][]byte{},
+			})
+		}
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return entries, nil
+}
+
+// issue sends one request and checks byte-identity against the entry's
+// reference body for the same seed variant.
+func issue(httpc *http.Client, addr string, e *mixEntry, mixIdx int, variant int64) result {
+	reqBody, err := e.body(variant)
+	if err != nil {
+		return result{code: 0, mixIdx: mixIdx}
+	}
+	t0 := time.Now()
+	resp, err := httpc.Post(addr+"/v1/simulate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return result{code: 0, latency: time.Since(t0), mixIdx: mixIdx}
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lat := time.Since(t0)
+	if err != nil {
+		return result{code: 0, latency: lat, mixIdx: mixIdx}
+	}
+	r := result{code: resp.StatusCode, latency: lat, mixIdx: mixIdx, match: true}
+	if resp.StatusCode == http.StatusOK {
+		e.mu.Lock()
+		if first, ok := e.first[variant]; !ok {
+			e.first[variant] = body
+		} else if !bytes.Equal(first, body) {
+			r.match = false
+		}
+		e.mu.Unlock()
+	}
+	return r
+}
+
+func summarize(results []result, entries []*mixEntry, clients int, elapsed time.Duration) Summary {
+	s := Summary{
+		Clients:     clients,
+		Requests:    len(results),
+		DurationSec: elapsed.Seconds(),
+		Codes:       map[string]int{},
+	}
+	if elapsed > 0 {
+		s.Throughput = float64(len(results)) / elapsed.Seconds()
+	}
+	var okLat []float64
+	for _, r := range results {
+		if r.code == 0 {
+			s.Errors++
+			continue
+		}
+		s.Codes[fmt.Sprint(r.code)]++
+		switch {
+		case r.code == http.StatusTooManyRequests:
+			s.Shed++
+		case r.code == http.StatusOK:
+			okLat = append(okLat, float64(r.latency)/float64(time.Millisecond))
+			if !r.match {
+				s.Mismatches++
+			}
+		}
+	}
+	s.LatencyMs = percentiles(okLat)
+	for _, e := range entries {
+		s.Mix = append(s.Mix, e.Name)
+	}
+	return s
+}
+
+func percentiles(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	sort.Float64s(ms)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(ms)-1))
+		return ms[i]
+	}
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	return Percentiles{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		Max:  ms[len(ms)-1],
+		Mean: sum / float64(len(ms)),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smpload:", err)
+	os.Exit(1)
+}

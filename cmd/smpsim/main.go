@@ -6,21 +6,25 @@
 //
 //	smpsim -policy window -apps "CG x2, BBMA x4"
 //	smpsim -policy linux -seed 7 -apps "Raytrace x2, nBBMA x4" -v
+//	smpsim -json -apps "CG x2, BBMA x4"     # smpsimd response schema
 //
 // The -apps grammar is a comma-separated list of "<name> [xN]" items;
 // names come from the registry (the eleven paper applications, BBMA,
-// nBBMA, STREAM).
+// nBBMA, STREAM). The same grammar drives the smpsimd HTTP daemon, and
+// -json emits the exact response schema of POST /v1/simulate (with
+// -timeline additionally embedding the Chrome trace, the counterpart
+// of the API's "trace":true), so CLI and server outputs are diffable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"busaware"
 	"busaware/internal/report"
+	"busaware/internal/server"
 )
 
 func main() {
@@ -30,11 +34,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for the Linux baseline's runqueue shuffling")
 	cpus := flag.Int("cpus", 0, "override processor count (0 = paper machine's 4)")
 	verbose := flag.Bool("v", false, "print machine-wide statistics")
-	timeline := flag.Bool("timeline", false, "print an ASCII schedule timeline")
+	timeline := flag.Bool("timeline", false, "print an ASCII schedule timeline (with -json: embed the Chrome trace)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing)")
+	jsonOut := flag.Bool("json", false, "emit the POST /v1/simulate response schema instead of tables")
 	flag.Parse()
 
-	apps, err := parseApps(*appsSpec)
+	apps, err := busaware.ParseApps(*appsSpec)
 	if err != nil {
 		fatal(err)
 	}
@@ -60,16 +65,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smpsim: warning: run hit the simulation time cap before completing")
 	}
 
-	t := report.NewTable(fmt.Sprintf("Workload under %s", res.Scheduler),
-		"Instance", "Profile", "Turnaround", "Slowdown", "MeanRate(trans/us)")
-	for _, a := range res.Apps {
-		t.AddRowf(a.Instance, a.Profile, a.Turnaround.String(),
-			a.Slowdown, float64(a.MeanBusRate))
-	}
-	fmt.Println(t.String())
+	if *jsonOut {
+		// The embedded trace mirrors the HTTP API's "trace" field: only
+		// -timeline opts in; a -trace file is still written separately.
+		var embed *busaware.Timeline
+		if *timeline {
+			embed = tl
+		}
+		resp, err := server.NewResponse(res, embed)
+		if err != nil {
+			fatal(err)
+		}
+		body, err := resp.MarshalBody()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(body)
+	} else {
+		t := report.NewTable(fmt.Sprintf("Workload under %s", res.Scheduler),
+			"Instance", "Profile", "Turnaround", "Slowdown", "MeanRate(trans/us)")
+		for _, a := range res.Apps {
+			t.AddRowf(a.Instance, a.Profile, a.Turnaround.String(),
+				a.Slowdown, float64(a.MeanBusRate))
+		}
+		fmt.Println(t.String())
 
-	if tl != nil && *timeline {
-		fmt.Println(tl.Text())
+		if tl != nil && *timeline {
+			fmt.Println(tl.Text())
+		}
 	}
 	if tl != nil && *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -83,9 +106,11 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("chrome trace written to %s\n", *traceOut)
+		if !*jsonOut {
+			fmt.Printf("chrome trace written to %s\n", *traceOut)
+		}
 	}
-	if *verbose {
+	if *verbose && !*jsonOut {
 		v := report.NewTable("Machine statistics", "Metric", "Value")
 		v.AddRowf("Simulated time", res.EndTime.String())
 		v.AddRowf("Quanta", fmt.Sprint(res.Quanta))
@@ -100,38 +125,4 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "smpsim:", err)
 	os.Exit(1)
-}
-
-// parseApps expands "CG x2, BBMA x4" into application instances.
-func parseApps(spec string) ([]*busaware.App, error) {
-	var apps []*busaware.App
-	counts := map[string]int{}
-	for _, item := range strings.Split(spec, ",") {
-		item = strings.TrimSpace(item)
-		if item == "" {
-			continue
-		}
-		name := item
-		n := 1
-		if i := strings.LastIndex(item, " x"); i >= 0 {
-			parsed, err := strconv.Atoi(strings.TrimSpace(item[i+2:]))
-			if err != nil || parsed < 1 {
-				return nil, fmt.Errorf("bad multiplicity in %q", item)
-			}
-			name = strings.TrimSpace(item[:i])
-			n = parsed
-		}
-		p, ok := busaware.AppByName(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown application %q", name)
-		}
-		for i := 0; i < n; i++ {
-			counts[name]++
-			apps = append(apps, busaware.NewInstance(p, fmt.Sprintf("%s#%d", name, counts[name])))
-		}
-	}
-	if len(apps) == 0 {
-		return nil, fmt.Errorf("empty workload %q", spec)
-	}
-	return apps, nil
 }

@@ -31,6 +31,53 @@ func formatFig2Rows(rows []Fig2Row) string {
 // optimizations did not change a single output bit. Regenerate with
 // `go test -run TestFigure2MixedGolden -update ./internal/experiments`
 // only when an intentional model change lands.
+// formatWindowRows renders the Quanta-Window ablation rows with exact
+// bit-level precision (hexadecimal floats), like formatFig2Rows.
+func formatWindowRows(rows []WindowAblationRow) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "W%d|%x|%x|%x\n",
+			r.Window, r.TrackingDistance, r.EstimateStdDev, r.RaytraceImprovement)
+	}
+	return b.String()
+}
+
+// TestWindowAblationGolden pins the Quanta-Window figure set (the
+// paper's W = 5 tradeoff sweep) byte-for-byte, widening the
+// bit-identical regression net beyond Figure 2C: this sweep exercises
+// the window estimator at every length plus the bursty Raytrace
+// workload, the combination the smpsimd response cache leans on when
+// it promises identical request ⇒ byte-identical body. Regenerate with
+// `go test -run TestWindowAblationGolden -update ./internal/experiments`
+// only when an intentional model change lands.
+func TestWindowAblationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full window-ablation sweep in -short mode")
+	}
+	rows, err := WindowAblation(Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := formatWindowRows(rows)
+	path := filepath.Join("testdata", "ablation_window.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("WindowAblation rows diverged from golden output:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 func TestFigure2MixedGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Figure 2C panel in -short mode")

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"busaware/internal/sim"
+)
+
+// stubCell builds a cell whose Run hook returns a canned result after
+// optionally blocking on gate.
+func stubCell(label string, quanta int, gate <-chan struct{}) Cell {
+	return Cell{
+		Label: label,
+		Run: func() (sim.Result, error) {
+			if gate != nil {
+				<-gate
+			}
+			return sim.Result{Scheduler: label, Quanta: quanta}, nil
+		},
+	}
+}
+
+func TestPoolDeliversResults(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Close()
+	var chans []<-chan PoolResult
+	for i := 0; i < 4; i++ {
+		out, ok := p.TrySubmit(stubCell("cell", i+1, nil))
+		if !ok {
+			t.Fatalf("TrySubmit %d refused with free queue", i)
+		}
+		chans = append(chans, out)
+	}
+	for i, out := range chans {
+		r := <-out
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+		if r.Result.Quanta != i+1 {
+			t.Errorf("cell %d: quanta = %d, want %d", i, r.Result.Quanta, i+1)
+		}
+		if r.Stat.Label != "cell" || r.Stat.Quanta != i+1 {
+			t.Errorf("cell %d: stat = %+v", i, r.Stat)
+		}
+	}
+	if got := p.Completed(); got != 4 {
+		t.Errorf("Completed = %d, want 4", got)
+	}
+}
+
+func TestPoolMatchesDirectRun(t *testing.T) {
+	// A real simulation cell through the pool must be byte-identical to
+	// running it directly — workers add no state of their own.
+	build := func() Cell { return simCells()[2] } // Quanta Window over CG + antagonists
+	direct, err := build().run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(2, 2)
+	defer p.Close()
+	out, ok := p.TrySubmit(build())
+	if !ok {
+		t.Fatal("TrySubmit refused")
+	}
+	r := <-out
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Result.Quanta != direct.Quanta || r.Result.EndTime != direct.EndTime ||
+		r.Result.MeanBusUtilization != direct.MeanBusUtilization {
+		t.Errorf("pool result diverged from direct run:\npool:   %+v\ndirect: %+v", r.Result, direct)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	p := NewPool(1, 1)
+	defer p.Close()
+	defer close(gate)
+
+	// First cell occupies the single worker...
+	if _, ok := p.TrySubmit(stubCell("running", 1, gate)); !ok {
+		t.Fatal("first TrySubmit refused")
+	}
+	// ...wait for the worker to pick it up so the queue slot frees.
+	waitFor(t, func() bool { return p.Busy() == 1 })
+	// Second cell fills the queue slot.
+	if _, ok := p.TrySubmit(stubCell("queued", 1, gate)); !ok {
+		t.Fatal("second TrySubmit refused with empty queue")
+	}
+	if got := p.QueueDepth(); got != 1 {
+		t.Fatalf("QueueDepth = %d, want 1", got)
+	}
+	// Third must be shed: worker busy, queue full.
+	if _, ok := p.TrySubmit(stubCell("shed", 1, nil)); ok {
+		t.Error("TrySubmit admitted past the queue bound")
+	}
+}
+
+func TestPoolCloseDrainsAdmitted(t *testing.T) {
+	p := NewPool(1, 8)
+	var chans []<-chan PoolResult
+	for i := 0; i < 8; i++ {
+		out, ok := p.TrySubmit(stubCell("drain", i+1, nil))
+		if !ok {
+			t.Fatalf("TrySubmit %d refused", i)
+		}
+		chans = append(chans, out)
+	}
+	p.Close()
+	for i, out := range chans {
+		r := <-out
+		if r.Err != nil || r.Result.Quanta != i+1 {
+			t.Errorf("drained cell %d: quanta = %d, err = %v", i, r.Result.Quanta, r.Err)
+		}
+	}
+	// After Close every submission is refused, never a panic.
+	if _, ok := p.TrySubmit(stubCell("late", 1, nil)); ok {
+		t.Error("TrySubmit admitted after Close")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolCellError(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	want := errors.New("boom")
+	out, ok := p.TrySubmit(Cell{Label: "bad", Run: func() (sim.Result, error) { return sim.Result{}, want }})
+	if !ok {
+		t.Fatal("TrySubmit refused")
+	}
+	r := <-out
+	if r.Err == nil || !errors.Is(r.Err, want) {
+		t.Errorf("Err = %v, want wrapped %v", r.Err, want)
+	}
+	if r.Stat.Err == nil {
+		t.Error("Stat.Err not recorded")
+	}
+}
+
+func TestPoolConcurrentSubmitClose(t *testing.T) {
+	// Hammer TrySubmit from many goroutines while Close runs: the
+	// closed-channel guard must never panic, and every admitted cell
+	// must still deliver its result (race detector covers the rest).
+	p := NewPool(2, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if out, ok := p.TrySubmit(stubCell("storm", 1, nil)); ok {
+					<-out
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	p.Close()
+	wg.Wait()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

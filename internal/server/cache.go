@@ -1,0 +1,139 @@
+package server
+
+import "sync"
+
+// DefaultCacheSize bounds the response cache. A cached entry is one
+// rendered response body; the evaluation grids the daemon exists to
+// serve (every figure bar of the paper, times policies and seeds) are
+// a few hundred distinct cells, so this default keeps a whole sweep
+// resident.
+const DefaultCacheSize = 256
+
+// CacheStats is a point-in-time snapshot of the response cache.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// respEntry is one cached response body; entries form a doubly-linked
+// list in recency order (head = most recently used), exactly like the
+// bus solver's equilibrium cache.
+type respEntry struct {
+	key        string
+	body       []byte
+	prev, next *respEntry
+}
+
+// respCache is a bounded LRU from canonical request keys to rendered
+// response bodies. Keys are exact (see compiled.Key): a hit replays
+// the byte-identical body of the original computation — no partial
+// match, no staleness, because the simulator is a pure function of the
+// canonical request. Unlike the bus cache it is shared across request
+// handlers, so a mutex serializes access.
+type respCache struct {
+	mu         sync.Mutex
+	limit      int
+	entries    map[string]*respEntry
+	head, tail *respEntry
+
+	hits, misses, evictions uint64
+}
+
+func newRespCache(limit int) *respCache {
+	if limit <= 0 {
+		limit = DefaultCacheSize
+	}
+	return &respCache{limit: limit, entries: make(map[string]*respEntry, limit)}
+}
+
+// get returns the cached body for key and promotes it to most-recent.
+// The returned slice is shared and must not be mutated; handlers only
+// ever write it to the wire.
+func (c *respCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.body, true
+}
+
+// put inserts body under key, evicting the least recently used entry
+// once full. Concurrent misses on the same key may both put; the
+// bodies are byte-identical by construction (deterministic simulator,
+// deterministic marshalling), so the first entry is simply kept.
+func (c *respCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.moveToFront(e)
+		return
+	}
+	if len(c.entries) >= c.limit {
+		c.evictOldest()
+	}
+	e := &respEntry{key: key, body: body}
+	c.entries[key] = e
+	c.pushFront(e)
+}
+
+// stats snapshots the counters.
+func (c *respCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+}
+
+func (c *respCache) pushFront(e *respEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *respCache) moveToFront(e *respEntry) {
+	if c.head == e {
+		return
+	}
+	// Unlink (e is not the head, so e.prev != nil).
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	c.pushFront(e)
+}
+
+func (c *respCache) evictOldest() {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	delete(c.entries, e.key)
+	c.evictions++
+	c.tail = e.prev
+	if c.tail != nil {
+		c.tail.next = nil
+	} else {
+		c.head = nil
+	}
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRespCacheHitMissEvict(t *testing.T) {
+	c := newRespCache(2)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if body, ok := c.get("a"); !ok || string(body) != "A" {
+		t.Fatalf("get a = %q, %v", body, ok)
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction past the limit")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a (recently used) was evicted")
+	}
+	s := c.stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries / 1 eviction", s)
+	}
+	if got := s.HitRate(); got <= 0 || got >= 1 {
+		t.Errorf("hit rate = %v, want in (0, 1)", got)
+	}
+}
+
+func TestRespCacheDuplicatePutKeepsFirst(t *testing.T) {
+	c := newRespCache(4)
+	c.put("k", []byte("first"))
+	c.put("k", []byte("first")) // concurrent-miss double compute
+	if body, ok := c.get("k"); !ok || string(body) != "first" {
+		t.Fatalf("get = %q, %v", body, ok)
+	}
+	if s := c.stats(); s.Entries != 1 {
+		t.Errorf("entries = %d, want 1", s.Entries)
+	}
+}
+
+func TestRespCacheConcurrent(t *testing.T) {
+	// Race-detector smoke: concurrent gets and puts over a small
+	// keyspace with evictions in play.
+	c := newRespCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				if body, ok := c.get(key); ok && string(body) != key {
+					t.Errorf("key %s returned body %q", key, body)
+					return
+				}
+				c.put(key, []byte(key))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.stats(); s.Entries > 8 {
+		t.Errorf("entries = %d exceeds limit 8", s.Entries)
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Simulation
+// cells run milliseconds to a few seconds, so the buckets straddle
+// both the cache-hit path (sub-millisecond) and cold heavy cells.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// metrics accumulates the serving-side counters exposed on /metrics in
+// Prometheus text exposition format. Hand-rolled on the stdlib — the
+// repository is dependency-free by charter — and deliberately small:
+// request counts by status code, one latency histogram, and the
+// queue/cache/pool gauges read live from the Server at render time.
+type metrics struct {
+	mu      sync.Mutex
+	codes   map[int]uint64
+	counts  []uint64 // cumulative-at-render, stored per-bucket here
+	sum     float64
+	count   uint64
+	started time.Time
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		codes:   make(map[int]uint64),
+		counts:  make([]uint64, len(latencyBuckets)+1), // +1 for +Inf
+		started: time.Now(),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.codes[code]++
+	m.sum += secs
+	m.count++
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			m.counts[i]++
+			return
+		}
+	}
+	m.counts[len(latencyBuckets)]++
+}
+
+// write renders the full exposition: request counters and the latency
+// histogram from m, plus live gauges from srv (queue, pool, cache).
+func (m *metrics) write(w io.Writer, srv *Server) {
+	m.mu.Lock()
+	codes := make([]int, 0, len(m.codes))
+	for c := range m.codes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	counts := append([]uint64(nil), m.counts...)
+	sum, count := m.sum, m.count
+	codeVals := make([]uint64, len(codes))
+	for i, c := range codes {
+		codeVals[i] = m.codes[c]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP smpsimd_requests_total Requests finished, by HTTP status code.")
+	fmt.Fprintln(w, "# TYPE smpsimd_requests_total counter")
+	for i, c := range codes {
+		fmt.Fprintf(w, "smpsimd_requests_total{code=%q} %d\n", strconv.Itoa(c), codeVals[i])
+	}
+
+	fmt.Fprintln(w, "# HELP smpsimd_request_duration_seconds Request latency, admission to last byte.")
+	fmt.Fprintln(w, "# TYPE smpsimd_request_duration_seconds histogram")
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "smpsimd_request_duration_seconds_bucket{le=%q} %d\n", formatFloat(ub), cum)
+	}
+	cum += counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "smpsimd_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "smpsimd_request_duration_seconds_sum %s\n", formatFloat(sum))
+	fmt.Fprintf(w, "smpsimd_request_duration_seconds_count %d\n", count)
+
+	pool := srv.pool
+	busy, workers := pool.Busy(), pool.Workers()
+	fmt.Fprintln(w, "# HELP smpsimd_queue_depth Cells admitted but not yet running.")
+	fmt.Fprintln(w, "# TYPE smpsimd_queue_depth gauge")
+	fmt.Fprintf(w, "smpsimd_queue_depth %d\n", pool.QueueDepth())
+	fmt.Fprintln(w, "# HELP smpsimd_queue_capacity Admission queue bound.")
+	fmt.Fprintln(w, "# TYPE smpsimd_queue_capacity gauge")
+	fmt.Fprintf(w, "smpsimd_queue_capacity %d\n", pool.QueueCap())
+	fmt.Fprintln(w, "# HELP smpsimd_pool_workers Simulation pool size.")
+	fmt.Fprintln(w, "# TYPE smpsimd_pool_workers gauge")
+	fmt.Fprintf(w, "smpsimd_pool_workers %d\n", workers)
+	fmt.Fprintln(w, "# HELP smpsimd_pool_busy Workers currently executing a cell.")
+	fmt.Fprintln(w, "# TYPE smpsimd_pool_busy gauge")
+	fmt.Fprintf(w, "smpsimd_pool_busy %d\n", busy)
+	fmt.Fprintln(w, "# HELP smpsimd_pool_utilization Busy workers over pool size.")
+	fmt.Fprintln(w, "# TYPE smpsimd_pool_utilization gauge")
+	util := 0.0
+	if workers > 0 {
+		util = float64(busy) / float64(workers)
+	}
+	fmt.Fprintf(w, "smpsimd_pool_utilization %s\n", formatFloat(util))
+	fmt.Fprintln(w, "# HELP smpsimd_cells_completed_total Simulation cells finished by the pool.")
+	fmt.Fprintln(w, "# TYPE smpsimd_cells_completed_total counter")
+	fmt.Fprintf(w, "smpsimd_cells_completed_total %d\n", pool.Completed())
+
+	cs := srv.cache.stats()
+	fmt.Fprintln(w, "# HELP smpsimd_cache_hits_total Response cache hits.")
+	fmt.Fprintln(w, "# TYPE smpsimd_cache_hits_total counter")
+	fmt.Fprintf(w, "smpsimd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintln(w, "# HELP smpsimd_cache_misses_total Response cache misses.")
+	fmt.Fprintln(w, "# TYPE smpsimd_cache_misses_total counter")
+	fmt.Fprintf(w, "smpsimd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintln(w, "# HELP smpsimd_cache_evictions_total Response cache LRU evictions.")
+	fmt.Fprintln(w, "# TYPE smpsimd_cache_evictions_total counter")
+	fmt.Fprintf(w, "smpsimd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintln(w, "# HELP smpsimd_cache_entries Response cache resident entries.")
+	fmt.Fprintln(w, "# TYPE smpsimd_cache_entries gauge")
+	fmt.Fprintf(w, "smpsimd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintln(w, "# HELP smpsimd_cache_hit_ratio Hits over lookups since start.")
+	fmt.Fprintln(w, "# TYPE smpsimd_cache_hit_ratio gauge")
+	fmt.Fprintf(w, "smpsimd_cache_hit_ratio %s\n", formatFloat(cs.HitRate()))
+}
+
+// formatFloat renders a float the Prometheus way: shortest exact
+// decimal form.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

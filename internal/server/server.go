@@ -1,0 +1,276 @@
+// Package server is the simulation-as-a-service front end: a
+// JSON-over-HTTP API that runs workload cells on a shared bounded
+// runner pool and serves their results with the disciplines of a real
+// inference server — bounded admission with backpressure (429 +
+// Retry-After instead of unbounded queueing), per-request deadlines
+// via context, an exact-key LRU cache over canonicalized requests
+// (identical request ⇒ byte-identical body), health and Prometheus
+// metrics endpoints, and graceful drain.
+//
+// The request shape matches the system: the paper's evaluation is a
+// grid of independent, deterministic cells, so every response is a
+// pure function of its canonical request and caching whole bodies is
+// sound. Endpoints:
+//
+//	POST /v1/simulate  — run (or replay) one cell; see Request/Response
+//	GET  /healthz      — liveness plus queue/pool/cache gauges
+//	GET  /metrics      — Prometheus text exposition
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"busaware/internal/runner"
+	"busaware/internal/sim"
+	"busaware/internal/trace"
+)
+
+// Config sizes the server. The zero value is serviceable: GOMAXPROCS
+// workers, a 2x-workers admission queue, the default cache, a 60s
+// request deadline and a 1s Retry-After hint.
+type Config struct {
+	// Workers bounds the simulation pool (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds admitted-but-not-running requests
+	// (0 = 2x workers). Beyond it the server sheds with 429.
+	QueueDepth int
+	// CacheSize bounds the response cache (0 = DefaultCacheSize).
+	CacheSize int
+	// RequestTimeout is the per-request deadline, queue wait included
+	// (0 = 60s). Expiry yields 504.
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses
+	// (0 = 1s).
+	RetryAfter time.Duration
+	// SimDelay adds an artificial latency to every cell before the
+	// simulator runs (0 = none). Real cells simulate in single-digit
+	// milliseconds, too fast for overload to be observable on small
+	// machines; a deliberate delay stands in for expensive cells so
+	// backpressure and drain behaviour can be demonstrated
+	// deterministically (the CI overload smoke and smpload demos).
+	SimDelay time.Duration
+}
+
+// Server handles the simulation API. Create with New, serve via
+// http.Server, and Close when done to release the pool.
+type Server struct {
+	cfg     Config
+	pool    *runner.Pool
+	cache   *respCache
+	metrics *metrics
+	mux     *http.ServeMux
+
+	// testRunHook, when non-nil, runs inside every simulation cell
+	// before the simulator starts — the test seam for holding workers
+	// busy to exercise backpressure and deadlines.
+	testRunHook func()
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    runner.NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:   newRespCache(cfg.CacheSize),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the API endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops admissions and waits for cells already admitted to
+// finish. Call after http.Server.Shutdown has stopped new connections;
+// together they are the SIGTERM drain path.
+func (s *Server) Close() { s.pool.Close() }
+
+// CacheStats exposes the response-cache counters (for healthz, tests
+// and the load driver's sanity checks).
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// maxBodyBytes caps request bodies; specs are short strings, so 1 MiB
+// is generous.
+const maxBodyBytes = 1 << 20
+
+// errorBody is the JSON error envelope for every non-200.
+func (s *Server) error(w http.ResponseWriter, started time.Time, code int, msg string) {
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	w.Write(body)
+	s.metrics.observe(code, time.Since(started))
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.error(w, started, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.error(w, started, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	c, err := compile(req)
+	if err != nil {
+		s.error(w, started, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Exact-key cache: a hit replays the byte-identical body computed
+	// for the first occurrence of this canonical request.
+	if body, ok := s.cache.get(c.Key); ok {
+		s.write(w, started, body, "hit")
+		return
+	}
+
+	// Admission: refuse rather than queue without bound. The client is
+	// told when to come back; smpload counts these as shed, not failed.
+	out, ok := s.submit(c)
+	if !ok {
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.error(w, started, http.StatusTooManyRequests, "simulation queue full")
+		return
+	}
+
+	// The deadline covers queue wait plus execution; the client closing
+	// its connection cancels too. A worker finishing after we gave up
+	// delivers into the buffered channel and the result is dropped —
+	// the next identical request recomputes (and then caches).
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.error(w, started, http.StatusGatewayTimeout, "deadline exceeded")
+		} else {
+			// Client went away; nothing to write, but account for it.
+			s.metrics.observe(499, time.Since(started))
+		}
+		return
+	case res := <-out:
+		if res.Err != nil {
+			s.error(w, started, http.StatusInternalServerError, res.Err.Error())
+			return
+		}
+		resp, err := NewResponse(res.Result, c.timeline)
+		if err != nil {
+			s.error(w, started, http.StatusInternalServerError, err.Error())
+			return
+		}
+		body, err := resp.MarshalBody()
+		if err != nil {
+			s.error(w, started, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.cache.put(c.Key, body)
+		s.write(w, started, body, "miss")
+	}
+}
+
+// submit offers the compiled request to the pool as one runner cell.
+func (s *Server) submit(c *compiled) (<-chan runner.PoolResult, bool) {
+	if c.Trace {
+		c.timeline = &trace.Timeline{NumCPUs: c.Config.Machine.NumCPUs}
+		c.Config.Timeline = c.timeline
+	}
+	cell := runner.Cell{
+		Label:     c.Key,
+		Config:    c.Config,
+		Scheduler: c.Scheduler,
+		Apps:      c.Apps,
+	}
+	if hook, delay := s.testRunHook, s.cfg.SimDelay; hook != nil || delay > 0 {
+		cfg, sched, apps := cell.Config, cell.Scheduler, cell.Apps
+		cell.Run = func() (sim.Result, error) {
+			if hook != nil {
+				hook()
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			return sim.Run(cfg, sched, apps)
+		}
+	}
+	return s.pool.TrySubmit(cell)
+}
+
+// write sends a 200 with the exact cached/rendered body bytes.
+func (s *Server) write(w http.ResponseWriter, started time.Time, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Header().Set("X-Cache", cacheState)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	s.metrics.observe(http.StatusOK, time.Since(started))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	cs := s.cache.stats()
+	body, _ := json.Marshal(struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queue_depth"`
+		QueueCap   int    `json:"queue_capacity"`
+		Workers    int    `json:"workers"`
+		Busy       int    `json:"busy"`
+		Completed  int64  `json:"completed"`
+		CacheSize  int    `json:"cache_entries"`
+		CacheHits  uint64 `json:"cache_hits"`
+	}{
+		Status:     "ok",
+		QueueDepth: s.pool.QueueDepth(),
+		QueueCap:   s.pool.QueueCap(),
+		Workers:    s.pool.Workers(),
+		Busy:       s.pool.Busy(),
+		Completed:  s.pool.Completed(),
+		CacheSize:  cs.Entries,
+		CacheHits:  cs.Hits,
+	})
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s)
+}

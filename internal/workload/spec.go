@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec expands a workload spec like "CG x2, BBMA x4" into
+// application instances. The grammar is a comma-separated list of
+// "<name> [xN]" items; names resolve through ByName (the eleven paper
+// applications plus BBMA, nBBMA, STREAM and the server profiles).
+// Instances of the same profile are numbered in order of appearance
+// across the whole spec, so "CG, CG x2" yields CG#1, CG#2, CG#3 —
+// exactly the instances "CG x3" yields. Empty items are skipped; a
+// spec with no items at all is an error.
+//
+// This is the one grammar shared by the smpsim CLI's -apps flag and
+// the smpsimd daemon's "apps" request field, so a workload pasted from
+// one is always valid in the other.
+func ParseSpec(spec string) ([]*App, error) {
+	var apps []*App
+	counts := map[string]int{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name := item
+		n := 1
+		if i := strings.LastIndex(item, " x"); i >= 0 {
+			parsed, err := strconv.Atoi(strings.TrimSpace(item[i+2:]))
+			if err != nil || parsed < 1 {
+				return nil, fmt.Errorf("workload: bad multiplicity in %q", item)
+			}
+			name = strings.TrimSpace(item[:i])
+			n = parsed
+		}
+		p, ok := ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown application %q", name)
+		}
+		for i := 0; i < n; i++ {
+			counts[name]++
+			apps = append(apps, NewApp(p, fmt.Sprintf("%s#%d", name, counts[name])))
+		}
+	}
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("workload: empty workload %q", spec)
+	}
+	return apps, nil
+}
+
+// CanonicalSpec renders parsed instances back into the minimal spec
+// that reproduces them: profile names in instance order, run-length
+// encoded ("CG x2, BBMA x4"). Specs that parse to the same instances
+// canonicalize identically ("CG x2" and "CG, CG" both yield "CG x2"),
+// which is what makes the daemon's result cache key exact rather than
+// textual.
+func CanonicalSpec(apps []*App) string {
+	var b strings.Builder
+	for i := 0; i < len(apps); {
+		j := i
+		for j < len(apps) && apps[j].Profile.Name == apps[i].Profile.Name {
+			j++
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(apps[i].Profile.Name)
+		if n := j - i; n > 1 {
+			fmt.Fprintf(&b, " x%d", n)
+		}
+		i = j
+	}
+	return b.String()
+}
