@@ -24,19 +24,32 @@
 // keeps the pool computing — the overload scenario that makes 429
 // shedding observable from the outside.
 //
+// -targets spreads the closed-loop clients across several base URLs
+// (smpsimd backends, or smpgw gateways) round-robin by client; byte
+// identity is still enforced globally, so any divergence between
+// targets is caught. -sweep N switches the driver to the batch API:
+// each client claims N consecutive cells from the same deterministic
+// stream and issues them as one POST /v1/sweep, recording one result
+// per cell as its NDJSON line arrives.
+//
 // Usage:
 //
 //	smpload -addr http://localhost:8080 -clients 100 -requests 500 \
 //	  -mix "CG x2, BBMA x4; Raytrace x2, nBBMA x4" -policies window,latest \
 //	  -out LOAD_sim.json
+//
+//	smpload -targets http://localhost:8081,http://localhost:8082 \
+//	  -clients 50 -requests 1000 -sweep 25 -spread 8
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -64,12 +77,30 @@ func (e *mixEntry) body(variant int64) ([]byte, error) {
 	}{e.Spec, e.Policy, e.Seed + variant})
 }
 
-// result is one request's outcome.
+// check records the first response body seen for a variant and
+// reports whether body matches it. Bodies are normalized (trailing
+// newline stripped) so the simulate wire format and the sweep's
+// embedded form compare equal — a cell must be byte-identical no
+// matter which endpoint, backend, or mode served it.
+func (e *mixEntry) check(variant int64, body []byte) bool {
+	body = bytes.TrimSuffix(body, []byte("\n"))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	first, ok := e.first[variant]
+	if !ok {
+		e.first[variant] = append([]byte(nil), body...)
+		return true
+	}
+	return bytes.Equal(first, body)
+}
+
+// result is one cell's outcome.
 type result struct {
 	code    int // 0 = transport error
 	latency time.Duration
 	mixIdx  int
 	match   bool // body matched the entry's reference (200s only)
+	hit     bool // served from a response cache (200s only)
 }
 
 // Summary is the JSON artifact smpload emits.
@@ -88,9 +119,14 @@ type Summary struct {
 	// Shed is the 429 count, broken out since backpressure is expected
 	// behaviour under overload, not failure.
 	Shed int `json:"shed"`
+	// CacheHits counts 200s the server marked as cache-served (the
+	// X-Cache header, or the sweep line's cache field).
+	CacheHits int `json:"cache_hits"`
 	// LatencyMs covers successful (200) requests only.
 	LatencyMs Percentiles `json:"latency_ms"`
 	Mix       []string    `json:"mix"`
+	// Targets are the base URLs the clients were spread across.
+	Targets []string `json:"targets"`
 }
 
 // Percentiles summarizes a latency distribution in milliseconds.
@@ -104,12 +140,14 @@ type Percentiles struct {
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "smpsimd base URL")
+	targets := flag.String("targets", "", "comma-separated base URLs to spread clients across (overrides -addr); smpsimd backends or smpgw gateways")
 	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
-	requests := flag.Int("requests", 100, "total requests across all clients")
+	requests := flag.Int("requests", 100, "total requests (cells) across all clients")
 	mix := flag.String("mix", "CG x2, BBMA x4; Raytrace x2, nBBMA x4", "semicolon-separated workload specs")
 	policies := flag.String("policies", "window", "comma-separated policies crossed with the mix")
 	seed := flag.Int64("seed", 1, "base seed sent with every request")
 	spread := flag.Int64("spread", 1, "rotate the seed over N variants per mix entry; >1 forces distinct cells (cache misses), the overload scenario")
+	sweep := flag.Int("sweep", 0, "batch mode: each client issues N cells per POST /v1/sweep instead of one per /v1/simulate")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 	out := flag.String("out", "", "write the JSON summary to this file as well as stdout")
 	strict := flag.Bool("strict", false, "also fail on any non-200 (including 429s)")
@@ -125,6 +163,18 @@ func main() {
 	if *spread < 1 {
 		fatal(fmt.Errorf("-spread must be >= 1"))
 	}
+	bases := []string{*addr}
+	if *targets != "" {
+		bases = nil
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				bases = append(bases, u)
+			}
+		}
+		if len(bases) == 0 {
+			fatal(fmt.Errorf("-targets has no URLs"))
+		}
+	}
 
 	// The default transport keeps only 2 idle connections per host, so
 	// beyond 2 clients every request would redial and the measured
@@ -139,6 +189,10 @@ func main() {
 		},
 	}
 	results := make([]result, *requests)
+	batch := 1
+	if *sweep > 1 {
+		batch = *sweep
+	}
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -147,21 +201,32 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			base := bases[c%len(bases)]
 			for {
+				// Claim the next cell (or, in sweep mode, the next
+				// contiguous block of cells) from the shared stream.
 				mu.Lock()
-				idx := next
-				if idx >= len(results) {
+				lo := next
+				if lo >= len(results) {
 					mu.Unlock()
 					return
 				}
-				next++
+				hi := lo + batch
+				if hi > len(results) {
+					hi = len(results)
+				}
+				next = hi
 				mu.Unlock()
-				// Deterministic request mix: the i-th request overall
+				// Deterministic request mix: the i-th cell overall
 				// always targets the same entry and seed variant, so a
 				// rerun offers the identical request stream.
-				e := entries[idx%len(entries)]
-				variant := int64(idx/len(entries)) % *spread
-				results[idx] = issue(httpc, *addr, e, idx%len(entries), variant)
+				if *sweep > 1 {
+					issueSweep(httpc, base, entries, *spread, lo, hi, results)
+					continue
+				}
+				e := entries[lo%len(entries)]
+				variant := int64(lo/len(entries)) % *spread
+				results[lo] = issue(httpc, base, e, lo%len(entries), variant)
 			}
 		}(c)
 	}
@@ -169,6 +234,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	s := summarize(results, entries, *clients, elapsed)
+	s.Targets = bases
 	body, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -239,15 +305,97 @@ func issue(httpc *http.Client, addr string, e *mixEntry, mixIdx int, variant int
 	}
 	r := result{code: resp.StatusCode, latency: lat, mixIdx: mixIdx, match: true}
 	if resp.StatusCode == http.StatusOK {
-		e.mu.Lock()
-		if first, ok := e.first[variant]; !ok {
-			e.first[variant] = body
-		} else if !bytes.Equal(first, body) {
-			r.match = false
-		}
-		e.mu.Unlock()
+		r.match = e.check(variant, body)
+		r.hit = resp.Header.Get("X-Cache") == "hit"
 	}
 	return r
+}
+
+// sweepLine mirrors the NDJSON schema shared by smpsimd's /v1/sweep
+// and smpgw's merged stream (which adds the backend field).
+type sweepLine struct {
+	Index    int             `json:"index"`
+	Status   int             `json:"status"`
+	Cache    string          `json:"cache"`
+	Error    string          `json:"error"`
+	Response json.RawMessage `json:"response"`
+	Backend  string          `json:"backend"`
+}
+
+// issueSweep sends cells [lo, hi) of the deterministic stream as one
+// batch and records a result per cell as its line arrives. Cells the
+// stream never answers (transport failure mid-stream) count as
+// transport errors.
+func issueSweep(httpc *http.Client, addr string, entries []*mixEntry, spread int64, lo, hi int, results []result) {
+	type cellRef struct {
+		e       *mixEntry
+		mixIdx  int
+		variant int64
+	}
+	refs := make([]cellRef, 0, hi-lo)
+	cells := make([]json.RawMessage, 0, hi-lo)
+	for idx := lo; idx < hi; idx++ {
+		e := entries[idx%len(entries)]
+		variant := int64(idx/len(entries)) % spread
+		body, err := e.body(variant)
+		if err != nil {
+			for j := lo; j < hi; j++ {
+				results[j] = result{mixIdx: j % len(entries)}
+			}
+			return
+		}
+		refs = append(refs, cellRef{e: e, mixIdx: idx % len(entries), variant: variant})
+		cells = append(cells, body)
+	}
+	reqBody, err := json.Marshal(struct {
+		Cells []json.RawMessage `json:"cells"`
+	}{cells})
+	if err != nil {
+		for j := lo; j < hi; j++ {
+			results[j] = result{mixIdx: j % len(entries)}
+		}
+		return
+	}
+
+	t0 := time.Now()
+	for i := range refs {
+		results[lo+i] = result{mixIdx: refs[i].mixIdx} // transport error unless a line lands
+	}
+	resp, err := httpc.Post(addr+"/v1/sweep", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		lat := time.Since(t0)
+		for i := range refs {
+			results[lo+i].latency = lat
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		lat := time.Since(t0)
+		for i := range refs {
+			results[lo+i] = result{code: resp.StatusCode, latency: lat, mixIdx: refs[i].mixIdx}
+		}
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var line sweepLine
+		if err := json.Unmarshal(raw, &line); err != nil || line.Index < 0 || line.Index >= len(refs) {
+			continue
+		}
+		ref := refs[line.Index]
+		r := result{code: line.Status, latency: time.Since(t0), mixIdx: ref.mixIdx, match: true}
+		if line.Status == http.StatusOK {
+			r.match = ref.e.check(ref.variant, line.Response)
+			r.hit = line.Cache == "hit"
+		}
+		results[lo+line.Index] = r
+	}
 }
 
 func summarize(results []result, entries []*mixEntry, clients int, elapsed time.Duration) Summary {
@@ -275,6 +423,9 @@ func summarize(results []result, entries []*mixEntry, clients int, elapsed time.
 			if !r.match {
 				s.Mismatches++
 			}
+			if r.hit {
+				s.CacheHits++
+			}
 		}
 	}
 	s.LatencyMs = percentiles(okLat)
@@ -289,8 +440,17 @@ func percentiles(ms []float64) Percentiles {
 		return Percentiles{}
 	}
 	sort.Float64s(ms)
+	// Nearest-rank: the P-th percentile is the ceil(p*N)-th smallest
+	// sample. Floor truncation over len-1 biased small samples low —
+	// with N=10 it reported P99 as the 9th smallest value, not the max.
 	at := func(p float64) float64 {
-		i := int(p * float64(len(ms)-1))
+		i := int(math.Ceil(p*float64(len(ms)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ms) {
+			i = len(ms) - 1
+		}
 		return ms[i]
 	}
 	var sum float64

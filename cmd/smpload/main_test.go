@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+)
+
+// seq returns [1, 2, ..., n] — sorted, so the i-th smallest sample is
+// simply i, making expected nearest-rank values readable.
+func seq(n int) []float64 {
+	ms := make([]float64, n)
+	for i := range ms {
+		ms[i] = float64(i + 1)
+	}
+	return ms
+}
+
+// TestPercentilesNearestRank pins the nearest-rank (ceil) definition:
+// the P-th percentile of N samples is the ceil(p*N)-th smallest. The
+// old floor-truncation indexing reported, e.g., P99 of 10 samples as
+// the 9th smallest instead of the max, biasing every small-N report
+// low.
+func TestPercentilesNearestRank(t *testing.T) {
+	tests := []struct {
+		n             int
+		p50, p90, p99 float64
+	}{
+		// N=1: every percentile is the lone sample.
+		{n: 1, p50: 1, p90: 1, p99: 1},
+		// N=2: P50 = ceil(1.0) = 1st, P90 = ceil(1.8) = 2nd,
+		// P99 = ceil(1.98) = 2nd. (Floor gave P90 = P99 = 1st.)
+		{n: 2, p50: 1, p90: 2, p99: 2},
+		// N=10: P99 = ceil(9.9) = 10th — the max, not the 9th.
+		{n: 10, p50: 5, p90: 9, p99: 10},
+		// N=100: P99 = ceil(99) = 99th smallest, exactly index 98.
+		{n: 100, p50: 50, p90: 90, p99: 99},
+	}
+	for _, tt := range tests {
+		got := percentiles(seq(tt.n))
+		if got.P50 != tt.p50 || got.P90 != tt.p90 || got.P99 != tt.p99 {
+			t.Errorf("N=%d: P50/P90/P99 = %v/%v/%v, want %v/%v/%v",
+				tt.n, got.P50, got.P90, got.P99, tt.p50, tt.p90, tt.p99)
+		}
+		if want := float64(tt.n); got.Max != want {
+			t.Errorf("N=%d: Max = %v, want %v", tt.n, got.Max, want)
+		}
+	}
+}
+
+// TestPercentilesEmpty keeps the zero-sample case a zero value rather
+// than a panic.
+func TestPercentilesEmpty(t *testing.T) {
+	if got := percentiles(nil); got != (Percentiles{}) {
+		t.Errorf("percentiles(nil) = %+v, want zero", got)
+	}
+}
+
+// TestPercentilesMean covers the one non-rank statistic.
+func TestPercentilesMean(t *testing.T) {
+	if got := percentiles(seq(4)).Mean; got != 2.5 {
+		t.Errorf("mean of 1..4 = %v, want 2.5", got)
+	}
+}

@@ -1,0 +1,113 @@
+package cpumanager
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"busaware/internal/faults"
+)
+
+// TestRetryDelaySequence pins the exact backoff schedule, including
+// the MaxRetryBackoff saturation that replaced the uncapped shift: an
+// unbounded `base << (try-1)` overflows int64 around try 40 and hands
+// time.Sleep a negative duration, and already by try 10 it sleeps
+// longer than any caller intends.
+func TestRetryDelaySequence(t *testing.T) {
+	tests := []struct {
+		name string
+		base time.Duration
+		want []time.Duration // delay before retry 1, 2, 3, ...
+	}{
+		{
+			name: "default base doubles then saturates",
+			base: 10 * time.Millisecond,
+			want: []time.Duration{
+				10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+				80 * time.Millisecond, 160 * time.Millisecond, 320 * time.Millisecond,
+				640 * time.Millisecond, 1280 * time.Millisecond,
+				MaxRetryBackoff, MaxRetryBackoff,
+			},
+		},
+		{
+			name: "base at the cap never exceeds it",
+			base: MaxRetryBackoff,
+			want: []time.Duration{MaxRetryBackoff, MaxRetryBackoff, MaxRetryBackoff},
+		},
+		{
+			name: "base above the cap is clamped",
+			base: 3 * MaxRetryBackoff,
+			want: []time.Duration{MaxRetryBackoff, MaxRetryBackoff},
+		},
+		{
+			name: "non-positive base falls back to the default",
+			base: 0,
+			want: []time.Duration{DefaultRetryBackoff, 2 * DefaultRetryBackoff},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for i, want := range tt.want {
+				if got := retryDelay(tt.base, i+1); got != want {
+					t.Errorf("retryDelay(%v, %d) = %v, want %v", tt.base, i+1, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryDelayNeverNegative sweeps attempt numbers far past the
+// int64 overflow point of the old shift; every delay must stay within
+// (0, MaxRetryBackoff].
+func TestRetryDelayNeverNegative(t *testing.T) {
+	for _, try := range []int{1, 2, 40, 63, 64, 65, 100, 1 << 20} {
+		d := retryDelay(time.Millisecond, try)
+		if d <= 0 || d > MaxRetryBackoff {
+			t.Errorf("retryDelay(1ms, %d) = %v, want in (0, %v]", try, d, MaxRetryBackoff)
+		}
+	}
+}
+
+// TestClientBackoffCappedOnWire drives roundTrip itself through a
+// permanently dead wire with a large attempt budget and asserts, via
+// the sleeper seam, the exact capped sleep sequence — the integration
+// half of the unit table above.
+func TestClientBackoffCappedOnWire(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	inj := faults.New(faults.Config{Seed: 1, RequestLoss: 1})
+	flaky := faults.NewFlakyConn(client, inj)
+
+	var mu sync.Mutex
+	var delays []time.Duration
+	sleeper := faults.Sleeper(func(d time.Duration) {
+		mu.Lock()
+		delays = append(delays, d)
+		mu.Unlock()
+	})
+
+	_, err := Connect(flaky, "doomed", 1,
+		WithRetry(12, 100*time.Millisecond), withSleeper(sleeper))
+	if err == nil {
+		t.Fatal("connect over a dead wire succeeded")
+	}
+
+	mu.Lock()
+	got := append([]time.Duration(nil), delays...)
+	mu.Unlock()
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond,
+		MaxRetryBackoff, MaxRetryBackoff, MaxRetryBackoff,
+		MaxRetryBackoff, MaxRetryBackoff, MaxRetryBackoff,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("backoff[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -51,9 +51,10 @@ func WithRequestTimeout(d time.Duration) ClientOption {
 }
 
 // WithRetry retries timed-out requests up to attempts times in total,
-// sleeping base, 2*base, 4*base, ... between tries. Only timeouts are
-// retried: a request that timed out before reaching the manager is
-// safe to resend, while a decode error or a refused operation is not.
+// sleeping base, 2*base, 4*base, ... between tries, saturating at
+// MaxRetryBackoff. Only timeouts are retried: a request that timed out
+// before reaching the manager is safe to resend, while a decode error
+// or a refused operation is not.
 func WithRetry(attempts int, base time.Duration) ClientOption {
 	return func(c *Client) {
 		if attempts >= 1 {
@@ -74,6 +75,33 @@ func withSleeper(s faults.Sleeper) ClientOption {
 // DefaultRetryBackoff is the base backoff delay WithRetry falls back
 // to when given a non-positive base.
 const DefaultRetryBackoff = 10 * time.Millisecond
+
+// MaxRetryBackoff caps the exponential backoff between retries. The
+// doubling is a left shift, and without a ceiling a generous attempt
+// budget either sleeps absurdly long or shifts past 63 bits and
+// produces a negative time.Duration; every retry delay saturates here
+// instead.
+const MaxRetryBackoff = 2 * time.Second
+
+// retryDelay returns the backoff before retry attempt try (try >= 1):
+// base, 2*base, 4*base, ... saturating at MaxRetryBackoff. The shift
+// count is bounded before shifting so the doubling can never overflow
+// time.Duration's int64, no matter the attempt budget.
+func retryDelay(base time.Duration, try int) time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	if base >= MaxRetryBackoff {
+		return MaxRetryBackoff
+	}
+	for shift := try - 1; shift > 0; shift-- {
+		base <<= 1
+		if base >= MaxRetryBackoff {
+			return MaxRetryBackoff
+		}
+	}
+	return base
+}
 
 // Connect performs the handshake over an established connection.
 func Connect(conn net.Conn, instance string, threads int, opts ...ClientOption) (*Client, error) {
@@ -129,7 +157,7 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	var lastErr error
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
-			c.sleep.Sleep(c.backoff << (try - 1))
+			c.sleep.Sleep(retryDelay(c.backoff, try))
 		}
 		resp, err := c.exchange(req)
 		if err == nil {

@@ -1,0 +1,443 @@
+// Package gateway is the horizontal scale-out layer over smpsimd: an
+// HTTP front end that shards /v1/simulate and /v1/sweep requests
+// across N backends by consistent hash of the canonical request key.
+// Sharding by the same key the backends' response caches use means
+// every repetition of a cell lands on the shard that already computed
+// it, so per-backend caches stay hot instead of each backend slowly
+// accumulating a lukewarm copy of the whole working set.
+//
+// The gateway treats backends as unreliable: a periodic /healthz probe
+// ejects backends that stop answering and re-admits them when they
+// recover; a connection error during proxying ejects the backend
+// immediately and fails the request over to the next node on the ring
+// (once); and a 429 from a backend is retried after honoring its
+// Retry-After hint before the backpressure is passed through to the
+// client. Requests the gateway can prove invalid (bad spec, unknown
+// policy) are rejected locally without spending a backend round trip.
+//
+// Endpoints mirror smpsimd: POST /v1/simulate, POST /v1/sweep,
+// GET /healthz, GET /metrics (per-backend health/inflight/shed/
+// failover gauges under the smpgw_ namespace).
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"busaware/internal/faults"
+	"busaware/internal/server"
+)
+
+// Config wires a Gateway. Backends is required; everything else has a
+// serviceable zero value.
+type Config struct {
+	// Backends are the smpsimd base URLs, e.g.
+	// "http://127.0.0.1:8081". At least one is required.
+	Backends []string
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (0 = 128).
+	Replicas int
+	// ProbeInterval spaces the /healthz probes (0 = 2s, negative =
+	// probing disabled; tests drive probes explicitly).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (0 = 1s).
+	ProbeTimeout time.Duration
+	// ProbeFailures is how many consecutive probe failures eject a
+	// backend (0 = 2). Re-admission takes a single success.
+	ProbeFailures int
+	// Retry429 is how many times a 429 from the shard owner is retried
+	// (honoring Retry-After) before being passed to the client (0 = 2,
+	// negative = no retries).
+	Retry429 int
+	// MaxRetryAfter caps how long one Retry-After hint is honored
+	// (0 = 5s).
+	MaxRetryAfter time.Duration
+	// Client overrides the proxy HTTP client (nil = keep-alive pooled
+	// transport, no global timeout — backends enforce deadlines).
+	Client *http.Client
+	// Sleep substitutes the retry clock, so tests assert backoff
+	// without real sleeping.
+	Sleep faults.Sleeper
+}
+
+// backend is the gateway's view of one smpsimd process.
+type backend struct {
+	addr string
+
+	healthy  atomic.Bool
+	inflight atomic.Int64
+
+	// shed counts 429s received from this backend; failovers counts
+	// requests moved off it after connection errors.
+	shed      atomic.Uint64
+	failovers atomic.Uint64
+
+	// probeFails is touched only by the prober goroutine.
+	probeFails int
+}
+
+// Gateway shards requests across backends. Create with New, serve via
+// http.Server, Close to stop the prober.
+type Gateway struct {
+	cfg      Config
+	ring     *ring
+	backends []*backend
+	client   *http.Client
+	probec   *http.Client
+	sleep    faults.Sleeper
+	metrics  *gwMetrics
+	mux      *http.ServeMux
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a Gateway over cfg.Backends and starts the health prober
+// (unless ProbeInterval < 0). Backends start healthy — optimism lets
+// the gateway serve before the first probe round; a dead backend is
+// ejected by its first failed probe or connection error.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends")
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.ProbeFailures <= 0 {
+		cfg.ProbeFailures = 2
+	}
+	if cfg.Retry429 == 0 {
+		cfg.Retry429 = 2
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 5 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+			},
+		}
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		ring:     newRing(cfg.Backends, cfg.Replicas),
+		backends: make([]*backend, len(cfg.Backends)),
+		client:   client,
+		probec:   &http.Client{Timeout: cfg.ProbeTimeout},
+		sleep:    cfg.Sleep,
+		metrics:  newGWMetrics(),
+		mux:      http.NewServeMux(),
+		stop:     make(chan struct{}),
+	}
+	for i, addr := range cfg.Backends {
+		g.backends[i] = &backend{addr: addr}
+		g.backends[i].healthy.Store(true)
+	}
+	g.mux.HandleFunc("/v1/simulate", g.handleSimulate)
+	g.mux.HandleFunc("/v1/sweep", g.handleSweep)
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	interval := cfg.ProbeInterval
+	if interval == 0 {
+		interval = 2 * time.Second
+	}
+	if interval > 0 {
+		g.wg.Add(1)
+		go g.probeLoop(interval)
+	}
+	return g, nil
+}
+
+// ServeHTTP dispatches to the gateway endpoints.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// Close stops the health prober. In-flight proxied requests are not
+// interrupted.
+func (g *Gateway) Close() {
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// route returns key's backends in preference order, healthy ones
+// first. The unhealthy tail is kept so a request can still be
+// attempted when every backend is ejected (the cluster may be healthier
+// than the prober's last look).
+func (g *Gateway) route(key string) []*backend {
+	seq := g.ring.sequence(key)
+	ordered := make([]*backend, 0, len(seq))
+	for _, i := range seq {
+		if g.backends[i].healthy.Load() {
+			ordered = append(ordered, g.backends[i])
+		}
+	}
+	for _, i := range seq {
+		if !g.backends[i].healthy.Load() {
+			ordered = append(ordered, g.backends[i])
+		}
+	}
+	return ordered
+}
+
+// gwError writes the JSON error envelope (same shape as smpsimd's).
+func (g *Gateway) gwError(w http.ResponseWriter, started time.Time, code int, msg string) {
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	w.Write(body)
+	g.metrics.observe(code)
+}
+
+// maxBodyBytes mirrors the backend's /v1/simulate body cap.
+const maxBodyBytes = 1 << 20
+
+func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		g.gwError(w, started, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		g.gwError(w, started, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	key, err := requestKey(body)
+	if err != nil {
+		// Invalid cell: reject here, spend no backend round trip.
+		g.gwError(w, started, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	resp, b, err := g.forward(r, g.route(key), "/v1/simulate", body)
+	if err != nil {
+		g.gwError(w, started, http.StatusBadGateway, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	if v := resp.Header.Get("X-Cache"); v != "" {
+		w.Header().Set("X-Cache", v)
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		w.Header().Set("Retry-After", v)
+	}
+	w.Header().Set("X-Backend", resp.Request.URL.Host)
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(b)
+	g.metrics.observe(resp.StatusCode)
+}
+
+// requestKey decodes one cell body and returns its canonical key,
+// using exactly the backend's decoding discipline so the gateway never
+// forwards a request the backend would reject — nor rejects one it
+// would accept.
+func requestKey(body []byte) (string, error) {
+	var req server.Request
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", fmt.Errorf("bad request body: %v", err)
+	}
+	return server.CanonicalKey(req)
+}
+
+// forward proxies body to the preferred backend, handling the two
+// recoverable failure classes:
+//
+//   - 429: the shard owner is saturated. Honor its Retry-After (capped)
+//     and retry the same backend up to Retry429 times — moving the
+//     request to another shard would compute a cell whose cache line
+//     lives elsewhere, so waiting is the cache-preserving choice. Budget
+//     exhausted, the 429 propagates to the client.
+//   - connection error: eject the backend and fail over to the next
+//     ring node, once. A second connection error surfaces as 502.
+//
+// The returned response's body is fully read and closed.
+func (g *Gateway) forward(r *http.Request, route []*backend, path string, body []byte) (*http.Response, []byte, error) {
+	if len(route) == 0 {
+		return nil, nil, fmt.Errorf("no backends")
+	}
+	var lastErr error
+	// Owner plus exactly one failover target.
+	for hop, b := range route {
+		if hop > 1 {
+			break
+		}
+		retries := g.cfg.Retry429
+		for {
+			resp, rb, err := g.roundTrip(r, b, path, body)
+			if err != nil {
+				if r.Context().Err() != nil {
+					// The client went away, not the backend; don't
+					// eject on its account.
+					return nil, nil, err
+				}
+				// Connection-level failure: eject and fail over.
+				b.healthy.Store(false)
+				b.failovers.Add(1)
+				g.metrics.failovers.Add(1)
+				lastErr = err
+				break
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				b.shed.Add(1)
+				if retries > 0 {
+					retries--
+					g.metrics.retries.Add(1)
+					g.sleep.Sleep(g.retryAfter(resp))
+					continue
+				}
+			}
+			return resp, rb, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("backend unreachable: %v", lastErr)
+}
+
+// roundTrip performs one proxied POST, reading the whole response.
+func (g *Gateway) roundTrip(r *http.Request, b *backend, path string, body []byte) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.addr+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	b.inflight.Add(1)
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.inflight.Add(-1)
+		return nil, nil, err
+	}
+	rb, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	b.inflight.Add(-1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, rb, nil
+}
+
+// retryAfter extracts the backend's backoff hint, defaulting to 1s and
+// capping at MaxRetryAfter.
+func (g *Gateway) retryAfter(resp *http.Response) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > g.cfg.MaxRetryAfter {
+		d = g.cfg.MaxRetryAfter
+	}
+	return d
+}
+
+// probeLoop drives periodic health probes until Close.
+func (g *Gateway) probeLoop(interval time.Duration) {
+	defer g.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.ProbeOnce()
+		}
+	}
+}
+
+// ProbeOnce probes every backend's /healthz once, ejecting after
+// ProbeFailures consecutive failures and re-admitting on the first
+// success. Exported so tests (and operators' debug handlers) can force
+// a round without waiting out the interval.
+func (g *Gateway) ProbeOnce() {
+	for _, b := range g.backends {
+		resp, err := g.probec.Get(b.addr + "/healthz")
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if ok {
+			b.probeFails = 0
+			b.healthy.Store(true)
+			continue
+		}
+		b.probeFails++
+		if b.probeFails >= g.cfg.ProbeFailures {
+			b.healthy.Store(false)
+		}
+	}
+}
+
+// Healthy reports how many backends are currently admitted.
+func (g *Gateway) Healthy() int {
+	n := 0
+	for _, b := range g.backends {
+		if b.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	type backendHealth struct {
+		Addr      string `json:"addr"`
+		Healthy   bool   `json:"healthy"`
+		Inflight  int64  `json:"inflight"`
+		Shed      uint64 `json:"shed"`
+		Failovers uint64 `json:"failovers"`
+	}
+	out := struct {
+		Status   string          `json:"status"`
+		Backends []backendHealth `json:"backends"`
+	}{Status: "ok"}
+	for _, b := range g.backends {
+		out.Backends = append(out.Backends, backendHealth{
+			Addr:      b.addr,
+			Healthy:   b.healthy.Load(),
+			Inflight:  b.inflight.Load(),
+			Shed:      b.shed.Load(),
+			Failovers: b.failovers.Load(),
+		})
+	}
+	if g.Healthy() == 0 {
+		out.Status = "degraded"
+	}
+	body, _ := json.Marshal(out)
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.metrics.write(w, g.backends)
+}

@@ -1,0 +1,95 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// gwMetrics accumulates the gateway-side counters for /metrics, in the
+// same hand-rolled Prometheus text exposition as the backend (the
+// repository is dependency-free by charter). Per-backend gauges are
+// read live from the backend structs at render time.
+type gwMetrics struct {
+	mu    sync.Mutex
+	codes map[int]uint64
+
+	// failovers counts requests moved to another ring node after a
+	// connection error; retries counts 429s absorbed by waiting out
+	// Retry-After; sweepCells counts per-cell sweep lines forwarded.
+	failovers  atomic.Uint64
+	retries    atomic.Uint64
+	sweepCells atomic.Uint64
+}
+
+func newGWMetrics() *gwMetrics {
+	return &gwMetrics{codes: make(map[int]uint64)}
+}
+
+// observe records one finished gateway request by status code.
+func (m *gwMetrics) observe(code int) {
+	m.mu.Lock()
+	m.codes[code]++
+	m.mu.Unlock()
+}
+
+// write renders the exposition: request counters plus live per-backend
+// gauges.
+func (m *gwMetrics) write(w io.Writer, backends []*backend) {
+	m.mu.Lock()
+	codes := make([]int, 0, len(m.codes))
+	for c := range m.codes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	codeVals := make([]uint64, len(codes))
+	for i, c := range codes {
+		codeVals[i] = m.codes[c]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP smpgw_requests_total Gateway requests finished, by HTTP status code.")
+	fmt.Fprintln(w, "# TYPE smpgw_requests_total counter")
+	for i, c := range codes {
+		fmt.Fprintf(w, "smpgw_requests_total{code=\"%d\"} %d\n", c, codeVals[i])
+	}
+
+	fmt.Fprintln(w, "# HELP smpgw_failovers_total Requests failed over to the next ring node after a connection error.")
+	fmt.Fprintln(w, "# TYPE smpgw_failovers_total counter")
+	fmt.Fprintf(w, "smpgw_failovers_total %d\n", m.failovers.Load())
+
+	fmt.Fprintln(w, "# HELP smpgw_retries_total Backend 429s absorbed by honoring Retry-After.")
+	fmt.Fprintln(w, "# TYPE smpgw_retries_total counter")
+	fmt.Fprintf(w, "smpgw_retries_total %d\n", m.retries.Load())
+
+	fmt.Fprintln(w, "# HELP smpgw_sweep_cells_total Sweep cells forwarded through the gateway.")
+	fmt.Fprintln(w, "# TYPE smpgw_sweep_cells_total counter")
+	fmt.Fprintf(w, "smpgw_sweep_cells_total %d\n", m.sweepCells.Load())
+
+	fmt.Fprintln(w, "# HELP smpgw_backend_healthy Backend admitted for routing (1) or ejected (0).")
+	fmt.Fprintln(w, "# TYPE smpgw_backend_healthy gauge")
+	for _, b := range backends {
+		h := 0
+		if b.healthy.Load() {
+			h = 1
+		}
+		fmt.Fprintf(w, "smpgw_backend_healthy{backend=%q} %d\n", b.addr, h)
+	}
+	fmt.Fprintln(w, "# HELP smpgw_backend_inflight Proxied requests currently outstanding against the backend.")
+	fmt.Fprintln(w, "# TYPE smpgw_backend_inflight gauge")
+	for _, b := range backends {
+		fmt.Fprintf(w, "smpgw_backend_inflight{backend=%q} %d\n", b.addr, b.inflight.Load())
+	}
+	fmt.Fprintln(w, "# HELP smpgw_backend_shed_total 429 responses received from the backend.")
+	fmt.Fprintln(w, "# TYPE smpgw_backend_shed_total counter")
+	for _, b := range backends {
+		fmt.Fprintf(w, "smpgw_backend_shed_total{backend=%q} %d\n", b.addr, b.shed.Load())
+	}
+	fmt.Fprintln(w, "# HELP smpgw_backend_failovers_total Requests moved off the backend after connection errors.")
+	fmt.Fprintln(w, "# TYPE smpgw_backend_failovers_total counter")
+	for _, b := range backends {
+		fmt.Fprintf(w, "smpgw_backend_failovers_total{backend=%q} %d\n", b.addr, b.failovers.Load())
+	}
+}

@@ -1,0 +1,91 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend
+// owns `replicas` virtual points on a 64-bit circle; a request key is
+// hashed onto the circle and walks clockwise to the first point. Two
+// properties matter here:
+//
+//   - Stability: a key's owner depends only on the backend addresses,
+//     not their order in the config, so every gateway replica and every
+//     restart routes identically — which is what keeps each backend's
+//     exact-key response cache hot for its shard.
+//   - Locality of failure: ejecting one backend remaps only the keys it
+//     owned (onto the next points clockwise); every other shard's cache
+//     stays untouched.
+type ring struct {
+	points []ringPoint
+	n      int // number of backends
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// defaultReplicas spreads each backend over enough virtual points that
+// shard sizes stay within a few percent of even for small clusters.
+const defaultReplicas = 128
+
+func newRing(addrs []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{
+		points: make([]ringPoint, 0, len(addrs)*replicas),
+		n:      len(addrs),
+	}
+	for i, addr := range addrs {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hashKey(fmt.Sprintf("%s#%d", addr, v)),
+				backend: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].backend < r.points[b].backend
+	})
+	return r
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// sequence returns all backends in preference order for key: the owner
+// first, then each distinct backend in clockwise ring order. Routing
+// uses the first healthy entry; failover moves to the next.
+func (r *ring) sequence(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= hashKey(key)
+	})
+	seq := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(seq) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			seq = append(seq, p.backend)
+		}
+	}
+	return seq
+}
+
+// owner returns the backend that owns key.
+func (r *ring) owner(key string) int {
+	return r.sequence(key)[0]
+}

@@ -1,0 +1,95 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v1|policy=window|seed=%d|apps=CG x2", i)
+	}
+	return out
+}
+
+// TestRingStableUnderAddressOrder: a key's owner depends on backend
+// addresses, not config order — gateway replicas and restarts must
+// route identically or shard caches churn.
+func TestRingStableUnderAddressOrder(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:2", "http://c:3"}
+	perm := []string{"http://c:3", "http://a:1", "http://b:2"}
+	r1 := newRing(addrs, 64)
+	r2 := newRing(perm, 64)
+	for _, k := range keys(200) {
+		if addrs[r1.owner(k)] != perm[r2.owner(k)] {
+			t.Fatalf("key %q routed to %s then %s under reordering",
+				k, addrs[r1.owner(k)], perm[r2.owner(k)])
+		}
+	}
+}
+
+// TestRingRemovalLocality: dropping one backend remaps only the keys
+// it owned; every other key keeps its owner (and its warm cache).
+func TestRingRemovalLocality(t *testing.T) {
+	full := []string{"http://a:1", "http://b:2", "http://c:3"}
+	reduced := []string{"http://a:1", "http://b:2"}
+	rFull := newRing(full, 128)
+	rReduced := newRing(reduced, 128)
+	moved := 0
+	for _, k := range keys(500) {
+		was := full[rFull.owner(k)]
+		now := reduced[rReduced.owner(k)]
+		if was == "http://c:3" {
+			moved++
+			continue // its keys must move somewhere
+		}
+		if was != now {
+			t.Fatalf("key %q moved from surviving backend %s to %s", k, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("backend c owned no keys out of 500 — ring badly unbalanced")
+	}
+}
+
+// TestRingSequenceCoversAllBackends: the failover order visits every
+// distinct backend exactly once, owner first.
+func TestRingSequenceCoversAllBackends(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r := newRing(addrs, 32)
+	for _, k := range keys(50) {
+		seq := r.sequence(k)
+		if len(seq) != len(addrs) {
+			t.Fatalf("sequence(%q) = %v, want %d distinct backends", k, seq, len(addrs))
+		}
+		seen := map[int]bool{}
+		for _, b := range seq {
+			if seen[b] {
+				t.Fatalf("sequence(%q) repeats backend %d", k, b)
+			}
+			seen[b] = true
+		}
+		if seq[0] != r.owner(k) {
+			t.Fatalf("sequence(%q)[0] = %d, owner = %d", k, seq[0], r.owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with enough virtual nodes no backend owns a
+// pathological share. Loose bounds — this guards against the classic
+// single-point-per-backend mistake, not for perfect uniformity.
+func TestRingBalance(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := newRing(addrs, 0) // default replicas
+	counts := make([]int, len(addrs))
+	const n = 3000
+	for _, k := range keys(n) {
+		counts[r.owner(k)]++
+	}
+	for i, c := range counts {
+		if c < n/10 {
+			t.Errorf("backend %d owns %d of %d keys — below 10%%", i, c, n)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"busaware/internal/server"
+)
+
+// Sweep scatter-gather: a batch of cells is sharded by the same
+// canonical-key hash as single requests, one sub-sweep is dispatched
+// per owning backend, and the backends' NDJSON streams are merged —
+// lines forwarded to the client as they arrive, with each cell's index
+// remapped from its sub-sweep position back to its position in the
+// client's batch and the serving backend recorded on the line. A
+// backend that dies mid-stream has its unfinished cells re-sharded
+// across the survivors, once; cells that fail both hops surface as
+// per-cell 502 lines, never as a torn response.
+
+// sweepMaxBodyBytes mirrors the backend's sweep body cap.
+const sweepMaxBodyBytes = 8 << 20
+
+// SweepLine is one NDJSON line of the gateway's merged sweep stream:
+// the backend's line plus which backend served it (the shard-affinity
+// observability hook smpload and the experiments use).
+type SweepLine struct {
+	server.SweepCellResult
+	Backend string `json:"backend,omitempty"`
+}
+
+func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		g.gwError(w, started, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req server.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, sweepMaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		g.gwError(w, started, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Cells) == 0 {
+		g.gwError(w, started, http.StatusBadRequest, "empty sweep")
+		return
+	}
+	if len(req.Cells) > server.MaxSweepCells {
+		g.gwError(w, started, http.StatusBadRequest,
+			fmt.Sprintf("sweep of %d cells exceeds the %d-cell limit", len(req.Cells), server.MaxSweepCells))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	emit := func(line SweepLine) {
+		b, err := json.Marshal(line)
+		if err != nil {
+			return
+		}
+		wmu.Lock()
+		w.Write(append(b, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		wmu.Unlock()
+		g.metrics.sweepCells.Add(1)
+	}
+
+	// Shard: group cell indices by owning backend. Cells the gateway
+	// can prove invalid become 400 lines without a backend round trip.
+	type group struct {
+		cells []server.Request
+		orig  []int
+	}
+	groups := make(map[*backend]*group)
+	for idx, cell := range req.Cells {
+		key, err := server.CanonicalKey(cell)
+		if err != nil {
+			emit(SweepLine{SweepCellResult: server.SweepCellResult{
+				Index: idx, Status: http.StatusBadRequest, Error: err.Error()}})
+			continue
+		}
+		route := g.route(key)
+		if len(route) == 0 {
+			emit(SweepLine{SweepCellResult: server.SweepCellResult{
+				Index: idx, Status: http.StatusBadGateway, Error: "no backends"}})
+			continue
+		}
+		b := route[0]
+		grp := groups[b]
+		if grp == nil {
+			grp = &group{}
+			groups[b] = grp
+		}
+		grp.cells = append(grp.cells, cell)
+		grp.orig = append(grp.orig, idx)
+	}
+
+	// Fan out one sub-sweep per backend; each worker handles its own
+	// single failover hop.
+	var wg sync.WaitGroup
+	var dispatch func(b *backend, cells []server.Request, orig []int, hop int)
+	dispatch = func(b *backend, cells []server.Request, orig []int, hop int) {
+		emitted, err := g.runSweepGroup(r, b, cells, orig, emit)
+		if err == nil || r.Context().Err() != nil {
+			return
+		}
+		// Transport failure mid-group: eject the backend and move the
+		// cells it never answered.
+		b.healthy.Store(false)
+		var restCells []server.Request
+		var restOrig []int
+		for i, done := range emitted {
+			if !done {
+				restCells = append(restCells, cells[i])
+				restOrig = append(restOrig, orig[i])
+			}
+		}
+		if len(restCells) == 0 {
+			return
+		}
+		b.failovers.Add(uint64(len(restCells)))
+		g.metrics.failovers.Add(uint64(len(restCells)))
+		if hop >= 1 {
+			for _, idx := range restOrig {
+				emit(SweepLine{SweepCellResult: server.SweepCellResult{
+					Index: idx, Status: http.StatusBadGateway, Error: err.Error()}})
+			}
+			return
+		}
+		// Re-shard the remainder: with b ejected, route() now prefers
+		// each cell's next healthy ring node.
+		regroups := make(map[*backend]*group)
+		for i, cell := range restCells {
+			key, kerr := server.CanonicalKey(cell)
+			var nb *backend
+			if kerr == nil {
+				for _, cand := range g.route(key) {
+					if cand != b {
+						nb = cand
+						break
+					}
+				}
+			}
+			if nb == nil {
+				emit(SweepLine{SweepCellResult: server.SweepCellResult{
+					Index: restOrig[i], Status: http.StatusBadGateway, Error: err.Error()}})
+				continue
+			}
+			grp := regroups[nb]
+			if grp == nil {
+				grp = &group{}
+				regroups[nb] = grp
+			}
+			grp.cells = append(grp.cells, cell)
+			grp.orig = append(grp.orig, restOrig[i])
+		}
+		for nb, grp := range regroups {
+			dispatch(nb, grp.cells, grp.orig, hop+1)
+		}
+	}
+	for b, grp := range groups {
+		wg.Add(1)
+		go func(b *backend, grp *group) {
+			defer wg.Done()
+			dispatch(b, grp.cells, grp.orig, 0)
+		}(b, grp)
+	}
+	wg.Wait()
+	g.metrics.observe(http.StatusOK)
+}
+
+// runSweepGroup posts one sub-sweep to b and forwards its stream,
+// remapping sub-indices to the client's. It returns which sub-cells
+// were answered; a non-nil error means the transport died and the
+// unanswered remainder should fail over. A non-200 sweep response is
+// not a transport failure: it becomes per-cell error lines.
+func (g *Gateway) runSweepGroup(r *http.Request, b *backend, cells []server.Request, orig []int, emit func(SweepLine)) ([]bool, error) {
+	emitted := make([]bool, len(cells))
+	body, err := json.Marshal(server.SweepRequest{Cells: cells})
+	if err != nil {
+		return emitted, err
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.addr+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return emitted, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return emitted, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// The backend refused the whole sub-sweep (it was reachable, so
+		// this is not failover material — a retry elsewhere would get
+		// the same answer for these cells).
+		msg := fmt.Sprintf("backend sweep status %d", resp.StatusCode)
+		for i, idx := range orig {
+			emitted[i] = true
+			emit(SweepLine{SweepCellResult: server.SweepCellResult{
+				Index: idx, Status: resp.StatusCode, Error: msg}, Backend: b.addr})
+		}
+		return emitted, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), sweepMaxBodyBytes)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var line server.SweepCellResult
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return emitted, fmt.Errorf("bad backend sweep line: %w", err)
+		}
+		if line.Index < 0 || line.Index >= len(cells) {
+			return emitted, fmt.Errorf("backend sweep line index %d out of range", line.Index)
+		}
+		sub := line.Index
+		line.Index = orig[sub]
+		emitted[sub] = true
+		emit(SweepLine{SweepCellResult: line, Backend: b.addr})
+	}
+	if err := sc.Err(); err != nil {
+		return emitted, err
+	}
+	return emitted, nil
+}

@@ -113,6 +113,18 @@ func compile(req Request) (*compiled, error) {
 	}, nil
 }
 
+// CanonicalKey validates req and returns its canonical cache key —
+// the identity both the response cache and the gateway's shard routing
+// hash, so "which shard owns this request" and "which cache entry
+// answers it" can never disagree. It is exactly compiled.Key.
+func CanonicalKey(req Request) (string, error) {
+	c, err := compile(req)
+	if err != nil {
+		return "", err
+	}
+	return c.Key, nil
+}
+
 // newScheduler mirrors busaware.NewScheduler for the names the HTTP
 // API accepts. It lives here rather than importing the facade so the
 // serving layer depends only on internal packages.

@@ -26,13 +26,22 @@ type metrics struct {
 	sum     float64
 	count   uint64
 	started time.Time
+
+	// lateCached counts cells whose requester gave up (504/disconnect)
+	// but whose result was salvaged into the response cache anyway.
+	lateCached uint64
+
+	// sweepCells counts per-cell sweep outcomes by label: "hit",
+	// "miss", "error".
+	sweepCells map[string]uint64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		codes:   make(map[int]uint64),
-		counts:  make([]uint64, len(latencyBuckets)+1), // +1 for +Inf
-		started: time.Now(),
+		codes:      make(map[int]uint64),
+		counts:     make([]uint64, len(latencyBuckets)+1), // +1 for +Inf
+		started:    time.Now(),
+		sweepCells: make(map[string]uint64),
 	}
 }
 
@@ -53,6 +62,24 @@ func (m *metrics) observe(code int, d time.Duration) {
 	m.counts[len(latencyBuckets)]++
 }
 
+// observeLateCached records one salvaged late completion.
+func (m *metrics) observeLateCached() {
+	m.mu.Lock()
+	m.lateCached++
+	m.mu.Unlock()
+}
+
+// observeSweepCell records one streamed sweep line by outcome.
+func (m *metrics) observeSweepCell(line SweepCellResult) {
+	outcome := "error"
+	if line.Status == 200 {
+		outcome = line.Cache // "hit" or "miss"
+	}
+	m.mu.Lock()
+	m.sweepCells[outcome]++
+	m.mu.Unlock()
+}
+
 // write renders the full exposition: request counters and the latency
 // histogram from m, plus live gauges from srv (queue, pool, cache).
 func (m *metrics) write(w io.Writer, srv *Server) {
@@ -64,6 +91,16 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 	sort.Ints(codes)
 	counts := append([]uint64(nil), m.counts...)
 	sum, count := m.sum, m.count
+	lateCached := m.lateCached
+	sweepOutcomes := make([]string, 0, len(m.sweepCells))
+	for o := range m.sweepCells {
+		sweepOutcomes = append(sweepOutcomes, o)
+	}
+	sort.Strings(sweepOutcomes)
+	sweepVals := make([]uint64, len(sweepOutcomes))
+	for i, o := range sweepOutcomes {
+		sweepVals[i] = m.sweepCells[o]
+	}
 	codeVals := make([]uint64, len(codes))
 	for i, c := range codes {
 		codeVals[i] = m.codes[c]
@@ -112,6 +149,16 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 	fmt.Fprintln(w, "# HELP smpsimd_cells_completed_total Simulation cells finished by the pool.")
 	fmt.Fprintln(w, "# TYPE smpsimd_cells_completed_total counter")
 	fmt.Fprintf(w, "smpsimd_cells_completed_total %d\n", pool.Completed())
+
+	fmt.Fprintln(w, "# HELP smpsimd_late_cached_total Timed-out cells salvaged into the response cache.")
+	fmt.Fprintln(w, "# TYPE smpsimd_late_cached_total counter")
+	fmt.Fprintf(w, "smpsimd_late_cached_total %d\n", lateCached)
+
+	fmt.Fprintln(w, "# HELP smpsimd_sweep_cells_total Sweep cells streamed, by outcome.")
+	fmt.Fprintln(w, "# TYPE smpsimd_sweep_cells_total counter")
+	for i, o := range sweepOutcomes {
+		fmt.Fprintf(w, "smpsimd_sweep_cells_total{outcome=%q} %d\n", o, sweepVals[i])
+	}
 
 	cs := srv.cache.stats()
 	fmt.Fprintln(w, "# HELP smpsimd_cache_hits_total Response cache hits.")

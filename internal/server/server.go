@@ -13,6 +13,8 @@
 // sound. Endpoints:
 //
 //	POST /v1/simulate  — run (or replay) one cell; see Request/Response
+//	POST /v1/sweep     — run a batch of cells, streaming NDJSON lines
+//	                     in completion order (see sweep.go)
 //	GET  /healthz      — liveness plus queue/pool/cache gauges
 //	GET  /metrics      — Prometheus text exposition
 package server
@@ -88,6 +90,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -163,12 +166,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	// The deadline covers queue wait plus execution; the client closing
 	// its connection cancels too. A worker finishing after we gave up
-	// delivers into the buffered channel and the result is dropped —
-	// the next identical request recomputes (and then caches).
+	// still delivers into the buffered channel, and the work is not
+	// wasted: a salvage goroutine renders the late result into the
+	// response cache, so the retry the 504/Retry-After told the client
+	// to make is a hit, not a recompute.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	select {
 	case <-ctx.Done():
+		go s.salvage(c, out)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			s.error(w, started, http.StatusGatewayTimeout, "deadline exceeded")
 		} else {
@@ -177,16 +183,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	case res := <-out:
-		if res.Err != nil {
-			s.error(w, started, http.StatusInternalServerError, res.Err.Error())
-			return
-		}
-		resp, err := NewResponse(res.Result, c.timeline)
-		if err != nil {
-			s.error(w, started, http.StatusInternalServerError, err.Error())
-			return
-		}
-		body, err := resp.MarshalBody()
+		body, err := renderBody(c, res)
 		if err != nil {
 			s.error(w, started, http.StatusInternalServerError, err.Error())
 			return
@@ -194,6 +191,33 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.cache.put(c.Key, body)
 		s.write(w, started, body, "miss")
 	}
+}
+
+// renderBody converts a finished cell into the exact wire bytes the
+// cache stores and every replay serves.
+func renderBody(c *compiled, res runner.PoolResult) ([]byte, error) {
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	resp, err := NewResponse(res.Result, c.timeline)
+	if err != nil {
+		return nil, err
+	}
+	return resp.MarshalBody()
+}
+
+// salvage waits for a cell whose requester gave up (deadline or
+// disconnect) and populates the response cache with the result, so the
+// computation is spent once even when its first requester never saw
+// it.
+func (s *Server) salvage(c *compiled, out <-chan runner.PoolResult) {
+	res := <-out
+	body, err := renderBody(c, res)
+	if err != nil {
+		return
+	}
+	s.cache.put(c.Key, body)
+	s.metrics.observeLateCached()
 }
 
 // submit offers the compiled request to the pool as one runner cell.

@@ -248,6 +248,57 @@ func TestRequestDeadline(t *testing.T) {
 	}
 }
 
+// TestLateCompletionPopulatesCache times out a slow cell (504), lets
+// the worker finish, and asserts the retry is served from the cache —
+// the late result must be salvaged, not dropped and recomputed.
+func TestLateCompletionPopulatesCache(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1, RequestTimeout: 30 * time.Millisecond})
+	s.testRunHook = func() { <-gate }
+
+	reqJSON := fmt.Sprintf(`{"apps":%q}`, smallSpec)
+	resp, body := post(t, ts.URL, reqJSON)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("slow cell status = %d, body %s, want 504", resp.StatusCode, body)
+	}
+
+	// Release the worker and wait for the salvage goroutine to cache
+	// the late result.
+	close(gate)
+	s.testRunHook = nil
+	waitFor(t, func() bool { return s.CacheStats().Entries == 1 })
+
+	resp, body = post(t, ts.URL, reqJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("retry X-Cache = %q, want hit (late completion was not salvaged)", got)
+	}
+
+	// The salvaged body must be byte-identical to a direct run — the
+	// cache-replay contract does not weaken for late entries.
+	c, err := compile(Request{Apps: smallSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(c.Config, c.Scheduler, c.Apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewResponse(res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.MarshalBody()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(want) {
+		t.Errorf("salvaged body diverged from direct run:\nserver: %s\ndirect: %s", body, want)
+	}
+}
+
 func TestTraceEmbedded(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	resp, body := post(t, ts.URL, fmt.Sprintf(`{"apps":%q,"trace":true}`, smallSpec))

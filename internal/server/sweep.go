@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"busaware/internal/runner"
+)
+
+// The sweep endpoint is the batch face of the API: a paper-scale
+// figure sweep is a large set of independent deterministic cells, and
+// submitting them one HTTP round trip at a time wastes both the
+// client's closed loop and the server's admission queue. POST
+// /v1/sweep accepts up to MaxSweepCells cells in one body and streams
+// one NDJSON line per cell as it completes — out of order, each line
+// tagged with the cell's index in the request.
+//
+// Execution stays bounded by the same runner.Pool as /v1/simulate: the
+// sweep self-throttles, keeping at most the pool's queue in flight and
+// waiting for its own completions before submitting more, so a big
+// batch cannot starve interactive requests of more than the queue.
+// Each cell is individually cacheable under the same exact-key LRU —
+// cells already resident are answered without touching the pool, and
+// duplicate cells within one sweep are coalesced onto a single
+// computation (the extras report as hits).
+
+// MaxSweepCells bounds one sweep request. 4096 covers every figure
+// grid in the paper times policies and seeds with room to spare.
+const MaxSweepCells = 4096
+
+// sweepMaxBodyBytes caps sweep request bodies: cells are short JSON
+// objects, so even MaxSweepCells of them fit comfortably in 8 MiB.
+const sweepMaxBodyBytes = 8 << 20
+
+// SweepRequest is the POST /v1/sweep body: a batch of independent
+// cells, each in exactly the /v1/simulate request schema (identical
+// canonicalization, identical cache keys).
+type SweepRequest struct {
+	Cells []Request `json:"cells"`
+}
+
+// SweepCellResult is one line of the application/x-ndjson response
+// stream. Lines arrive in completion order; Index ties a line back to
+// its cell in the request. For Status 200 the Response field holds the
+// exact /v1/simulate body bytes for that cell (sans trailing newline),
+// so byte-identity checks work across both endpoints.
+type SweepCellResult struct {
+	Index    int             `json:"index"`
+	Status   int             `json:"status"`
+	Cache    string          `json:"cache,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+// sweepPending is one submitted computation and every cell index
+// coalesced onto it.
+type sweepPending struct {
+	c       *compiled
+	indices []int
+}
+
+// sweepDone is a finished computation, rendered (and cached) by its
+// forwarder goroutine.
+type sweepDone struct {
+	p    *sweepPending
+	body []byte
+	err  error
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.error(w, started, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, sweepMaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.error(w, started, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Cells) == 0 {
+		s.error(w, started, http.StatusBadRequest, "empty sweep")
+		return
+	}
+	if len(req.Cells) > MaxSweepCells {
+		s.error(w, started, http.StatusBadRequest,
+			fmt.Sprintf("sweep of %d cells exceeds the %d-cell limit", len(req.Cells), MaxSweepCells))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	emit := func(line SweepCellResult) {
+		b, err := json.Marshal(line)
+		if err != nil {
+			return
+		}
+		w.Write(append(b, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		s.metrics.observeSweepCell(line)
+	}
+
+	// done is buffered for every possible computation so forwarder
+	// goroutines never block on it — if the client disconnects
+	// mid-sweep the handler returns without draining, and forwarders
+	// still complete (they render and cache before delivering, so no
+	// finished cell is ever wasted).
+	done := make(chan sweepDone, len(req.Cells))
+	pending := make(map[string]*sweepPending, len(req.Cells))
+	inflight := 0
+
+	finish := func(d sweepDone) {
+		if d.err != nil {
+			for _, idx := range d.p.indices {
+				emit(SweepCellResult{Index: idx, Status: http.StatusInternalServerError, Error: d.err.Error()})
+			}
+			return
+		}
+		for i, idx := range d.p.indices {
+			cacheState := "miss"
+			if i > 0 {
+				cacheState = "hit" // coalesced duplicate, served from the shared computation
+			}
+			emit(SweepCellResult{Index: idx, Status: http.StatusOK, Cache: cacheState,
+				Response: json.RawMessage(bytes.TrimSpace(d.body))})
+		}
+	}
+
+	ctx := r.Context()
+cells:
+	for idx, cell := range req.Cells {
+		c, err := compile(cell)
+		if err != nil {
+			emit(SweepCellResult{Index: idx, Status: http.StatusBadRequest, Error: err.Error()})
+			continue
+		}
+		if p, ok := pending[c.Key]; ok {
+			p.indices = append(p.indices, idx)
+			continue
+		}
+		if body, ok := s.cache.get(c.Key); ok {
+			emit(SweepCellResult{Index: idx, Status: http.StatusOK, Cache: "hit",
+				Response: json.RawMessage(bytes.TrimSpace(body))})
+			continue
+		}
+		p := &sweepPending{c: c, indices: []int{idx}}
+		for {
+			out, ok := s.submit(c)
+			if ok {
+				pending[c.Key] = p
+				inflight++
+				go func(p *sweepPending, out <-chan runner.PoolResult) {
+					res := <-out
+					body, err := renderBody(p.c, res)
+					if err == nil {
+						s.cache.put(p.c.Key, body)
+					}
+					done <- sweepDone{p: p, body: body, err: err}
+				}(p, out)
+				break
+			}
+			// Queue full. Prefer draining our own completions — each
+			// one both frees pool capacity and gets its line on the
+			// wire early. With nothing of ours in flight the pool is
+			// saturated by other requests; wait out a fraction of the
+			// Retry-After hint and offer again rather than shedding
+			// mid-stream.
+			if inflight > 0 {
+				select {
+				case d := <-done:
+					inflight--
+					delete(pending, d.p.c.Key)
+					finish(d)
+				case <-ctx.Done():
+					break cells
+				}
+				continue
+			}
+			select {
+			case <-time.After(s.cfg.RetryAfter / 4):
+			case <-ctx.Done():
+				break cells
+			}
+		}
+	}
+
+	for inflight > 0 {
+		select {
+		case d := <-done:
+			inflight--
+			finish(d)
+		case <-ctx.Done():
+			// Client gone: stop writing. Forwarders have already (or
+			// will) populate the cache with every in-flight result.
+			inflight = 0
+		}
+	}
+	s.metrics.observe(http.StatusOK, time.Since(started))
+}

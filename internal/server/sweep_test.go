@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postSweep sends a sweep and parses the NDJSON stream into lines.
+func postSweep(t *testing.T, url, reqBody string) (*http.Response, []SweepCellResult) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sweep", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []SweepCellResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line SweepCellResult
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, lines
+}
+
+// byIndex reindexes stream lines (which arrive in completion order)
+// back into request order.
+func byIndex(t *testing.T, lines []SweepCellResult, n int) []SweepCellResult {
+	t.Helper()
+	out := make([]SweepCellResult, n)
+	seen := make([]bool, n)
+	for _, l := range lines {
+		if l.Index < 0 || l.Index >= n {
+			t.Fatalf("line index %d out of range [0,%d)", l.Index, n)
+		}
+		if seen[l.Index] {
+			t.Fatalf("cell %d emitted twice", l.Index)
+		}
+		seen[l.Index] = true
+		out[l.Index] = l
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("cell %d never emitted (%d of %d lines)", i, len(lines), n)
+		}
+	}
+	return out
+}
+
+// TestSweepMatchesSimulate runs a small sweep and asserts every cell's
+// embedded response is byte-identical to the /v1/simulate body for the
+// same cell — the cross-endpoint identity contract.
+func TestSweepMatchesSimulate(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	cells := []string{
+		fmt.Sprintf(`{"apps":%q}`, smallSpec),
+		`{"apps":"CG x2, BBMA x2","policy":"latest"}`,
+		`{"apps":"Raytrace, nBBMA x2","policy":"linux","seed":3}`,
+	}
+	resp, lines := postSweep(t, ts.URL, `{"cells":[`+strings.Join(cells, ",")+`]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	got := byIndex(t, lines, len(cells))
+	for i, cell := range cells {
+		if got[i].Status != http.StatusOK {
+			t.Fatalf("cell %d status = %d (%s)", i, got[i].Status, got[i].Error)
+		}
+		// The same cell via /v1/simulate (now a cache hit) must return
+		// exactly the sweep's embedded bytes plus the trailing newline.
+		simResp, simBody := post(t, ts.URL, cell)
+		if simResp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate %d status = %d", i, simResp.StatusCode)
+		}
+		if simResp.Header.Get("X-Cache") != "hit" {
+			t.Errorf("cell %d: simulate after sweep missed the cache", i)
+		}
+		if want := strings.TrimSuffix(string(simBody), "\n"); string(got[i].Response) != want {
+			t.Errorf("cell %d sweep body diverged from simulate:\nsweep:    %s\nsimulate: %s",
+				i, got[i].Response, want)
+		}
+	}
+}
+
+// TestSweepCoalescesDuplicates puts the same canonical cell in a sweep
+// three times under different spellings: one computation, three lines,
+// the extras reporting as hits.
+func TestSweepCoalescesDuplicates(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"cells":[
+		{"apps":"CG x2, BBMA x2"},
+		{"apps":"CG, CG, BBMA, BBMA","policy":"window","seed":1},
+		{"apps":"CG x2, BBMA x2","policy":"window"}
+	]}`
+	resp, lines := postSweep(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	got := byIndex(t, lines, 3)
+	var hits, misses int
+	for i, l := range got {
+		if l.Status != http.StatusOK {
+			t.Fatalf("cell %d status = %d (%s)", i, l.Status, l.Error)
+		}
+		switch l.Cache {
+		case "hit":
+			hits++
+		case "miss":
+			misses++
+		default:
+			t.Errorf("cell %d cache = %q", i, l.Cache)
+		}
+		if string(l.Response) != string(got[0].Response) {
+			t.Errorf("cell %d body diverged from cell 0", i)
+		}
+	}
+	if misses != 1 || hits != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/1 (coalescing failed)", hits, misses)
+	}
+	if completed := s.pool.Completed(); completed != 1 {
+		t.Errorf("pool ran %d cells for 3 identical requests, want 1", completed)
+	}
+}
+
+// TestSweepSelfThrottles pushes a sweep far wider than the pool: every
+// cell must still complete, bounded by the queue, with no shedding.
+func TestSweepSelfThrottles(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	var cells []string
+	const n = 8
+	for i := 0; i < n; i++ {
+		cells = append(cells, fmt.Sprintf(`{"apps":%q,"policy":"linux","seed":%d}`, smallSpec, i+1))
+	}
+	resp, lines := postSweep(t, ts.URL, `{"cells":[`+strings.Join(cells, ",")+`]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	got := byIndex(t, lines, n)
+	for i, l := range got {
+		if l.Status != http.StatusOK {
+			t.Errorf("cell %d status = %d (%s)", i, l.Status, l.Error)
+		}
+	}
+}
+
+// TestSweepBadCellsAreLines checks per-cell failure isolation: a
+// malformed cell yields a 400 line, the rest still run.
+func TestSweepBadCellsAreLines(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := fmt.Sprintf(`{"cells":[{"apps":%q},{"apps":"NoSuchApp"},{"apps":%q,"policy":"latest"}]}`,
+		smallSpec, smallSpec)
+	resp, lines := postSweep(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d", resp.StatusCode)
+	}
+	got := byIndex(t, lines, 3)
+	if got[0].Status != http.StatusOK || got[2].Status != http.StatusOK {
+		t.Errorf("good cells = %d/%d, want 200/200", got[0].Status, got[2].Status)
+	}
+	if got[1].Status != http.StatusBadRequest || got[1].Error == "" {
+		t.Errorf("bad cell = %d %q, want 400 with error", got[1].Status, got[1].Error)
+	}
+}
+
+// TestSweepRequestValidation covers whole-request rejections.
+func TestSweepRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, tt := range []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"cells":`},
+		{"empty cells", `{"cells":[]}`},
+		{"no cells field", `{}`},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+	resp, err := http.Get(ts.URL + "/v1/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweep = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCanonicalKeyAgreesAcrossEncodings is the shard-routing contract:
+// a cell's canonical key must be identical whether it is spelled as a
+// /v1/simulate body or embedded in a /v1/sweep cell, and across
+// spellings of the same workload — the gateway hashes CanonicalKey to
+// pick a shard, and the backend's cache keys on the same string, so
+// any disagreement would scatter one cell's cache entries across
+// shards.
+func TestCanonicalKeyAgreesAcrossEncodings(t *testing.T) {
+	spellings := []string{
+		`{"apps":"CG x2, BBMA x4"}`,
+		`{"apps":"CG, CG, BBMA x4","policy":"window"}`,
+		`{"apps":"CG, CG, BBMA, BBMA, BBMA, BBMA","policy":"window","seed":1}`,
+	}
+	var keys []string
+	for _, raw := range spellings {
+		// The /v1/simulate path: decode the body directly.
+		var direct Request
+		if err := json.Unmarshal([]byte(raw), &direct); err != nil {
+			t.Fatal(err)
+		}
+		directKey, err := CanonicalKey(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The /v1/sweep path: the same cell round-tripped through the
+		// sweep request encoding.
+		sweepBody, err := json.Marshal(SweepRequest{Cells: []Request{direct}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded SweepRequest
+		if err := json.Unmarshal(sweepBody, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		sweepKey, err := CanonicalKey(decoded.Cells[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if directKey != sweepKey {
+			t.Errorf("key diverged across encodings for %s:\nsimulate: %s\nsweep:    %s",
+				raw, directKey, sweepKey)
+		}
+		keys = append(keys, directKey)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[0] {
+			t.Errorf("spelling %d canonicalized to a different key:\n%s\n%s", i, keys[i], keys[0])
+		}
+	}
+}
