@@ -30,6 +30,7 @@ import (
 	"busaware/internal/machine"
 	"busaware/internal/sched"
 	"busaware/internal/sim"
+	"busaware/internal/timeline"
 	"busaware/internal/trace"
 	"busaware/internal/units"
 	"busaware/internal/workload"
@@ -58,6 +59,13 @@ type (
 	// Timeline records per-quantum scheduling decisions for rendering
 	// or Chrome-trace export.
 	Timeline = trace.Timeline
+	// TimelineCollector aggregates per-quantum telemetry into bounded
+	// windows (bus utilization, admission decisions, queue depths,
+	// fault events); TimelineConfig and TimelineWindow size and carry
+	// it. See internal/timeline.
+	TimelineCollector = timeline.Collector
+	TimelineConfig    = timeline.Config
+	TimelineWindow    = timeline.Window
 )
 
 // Time units, re-exported for convenience.
@@ -154,8 +162,23 @@ func Run(m MachineConfig, s Scheduler, apps []*App) (Result, error) {
 // (Timeline.WriteChromeTrace).
 func RunTraced(m MachineConfig, s Scheduler, apps []*App) (Result, *Timeline, error) {
 	tl := &trace.Timeline{NumCPUs: m.NumCPUs}
-	res, err := sim.Run(sim.Config{Machine: m, Timeline: tl}, s, apps)
+	res, err := sim.Run(sim.Config{Machine: m, Trace: tl}, s, apps)
 	return res, tl, err
+}
+
+// RunWithTimeline is Run with per-quantum telemetry: the collector
+// receives one aggregated sample per quantum (bus utilization and
+// stretch, admission decisions, queue depth, fault events), windowed
+// into bounded memory. See internal/timeline for the window schema.
+func RunWithTimeline(m MachineConfig, s Scheduler, apps []*App, tl *TimelineCollector) (Result, error) {
+	return sim.Run(sim.Config{Machine: m, Timeline: tl}, s, apps)
+}
+
+// NewTimelineCollector builds a timeline collector; the zero config
+// selects the defaults (64-quantum windows, 1024-window ring, 0.9
+// saturation threshold).
+func NewTimelineCollector(cfg TimelineConfig) (*TimelineCollector, error) {
+	return timeline.New(cfg)
 }
 
 // RunPolicy is the one-call convenience wrapper: build the named

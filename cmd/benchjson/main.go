@@ -1,17 +1,25 @@
 // Command benchjson converts `go test -bench` output into a stable
-// JSON artifact and optionally gates allocation regressions against a
-// checked-in baseline.
+// JSON artifact and optionally gates regressions against a checked-in
+// baseline.
 //
 // It reads benchmark output on stdin, writes JSON to -o, and — when
-// -baseline is given — fails (exit 1) if the gated benchmark's
-// allocs/op regressed by more than -tolerance relative to the
-// baseline. Allocations are gated rather than timings because they
-// are bit-stable across CI hardware while ns/op is not.
+// -baseline is given — fails (exit 1) if any gated metric regressed
+// past its tolerance relative to the baseline. -gate is repeatable and
+// takes "Name", "Name=metric" or "Name=metric:tolerance"; a bare name
+// gates allocs/op at -tolerance. Allocations are the primary gate
+// because they are bit-stable across CI hardware; ns/op gates are
+// supported for coarse cliffs (a 25% tolerance catches an accidental
+// O(n) in the hot loop while riding out scheduler noise), and a
+// tolerance of 0 pins a metric exactly — the discipline used for
+// allocation-free hot paths.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH_sim.json \
-//	    -baseline BENCH_baseline.json -gate BenchmarkSimQuantum
+//	    -baseline BENCH_baseline.json \
+//	    -gate BenchmarkSimQuantum \
+//	    -gate 'BenchmarkSimQuantum=ns/op:0.25' \
+//	    -gate 'BenchmarkTimelineRecord=allocs/op:0'
 package main
 
 import (
@@ -85,41 +93,95 @@ func Parse(r io.Reader) ([]Result, error) {
 	return out, nil
 }
 
-// Gate compares the named benchmark's allocs/op between current and
-// baseline and returns an error if it regressed past the tolerance
-// (e.g. 0.20 = fail if more than 20% above baseline).
-func Gate(current, baseline []Result, name string, tolerance float64) error {
-	find := func(rs []Result) (Result, bool) {
-		for _, r := range rs {
-			if r.Name == name {
-				return r, true
-			}
+// GateSpec names one metric of one benchmark and the fractional
+// regression it is allowed relative to the baseline. Tolerance 0 pins
+// the metric exactly (any increase fails) — with a baseline of 0 that
+// enforces e.g. a permanently allocation-free hot path.
+type GateSpec struct {
+	Name      string
+	Metric    string
+	Tolerance float64
+}
+
+func (g GateSpec) String() string {
+	return fmt.Sprintf("%s=%s:%g", g.Name, g.Metric, g.Tolerance)
+}
+
+// ParseGateSpec parses "Name", "Name=metric" or "Name=metric:tol".
+// A bare name or missing tolerance falls back to allocs/op at
+// defaultTol, which keeps the original single-flag CLI working.
+func ParseGateSpec(s string, defaultTol float64) (GateSpec, error) {
+	g := GateSpec{Metric: "allocs/op", Tolerance: defaultTol}
+	var hasMetric bool
+	g.Name, s, hasMetric = strings.Cut(strings.TrimSpace(s), "=")
+	if g.Name == "" {
+		return g, fmt.Errorf("benchjson: empty benchmark name in gate spec")
+	}
+	if !hasMetric {
+		return g, nil
+	}
+	metric, tol, hasTol := strings.Cut(s, ":")
+	if metric == "" {
+		return g, fmt.Errorf("benchjson: empty metric in gate spec %q", s)
+	}
+	g.Metric = metric
+	if hasTol {
+		v, err := strconv.ParseFloat(tol, 64)
+		if err != nil || v < 0 {
+			return g, fmt.Errorf("benchjson: bad tolerance %q in gate spec", tol)
 		}
-		return Result{}, false
+		g.Tolerance = v
 	}
-	cur, ok := find(current)
-	if !ok {
-		return fmt.Errorf("benchjson: gated benchmark %s missing from current run", name)
+	return g, nil
+}
+
+// Gate checks one metric of one benchmark between current and baseline
+// and returns an error if it regressed past the tolerance (e.g. 0.25 =
+// fail if more than 25% above baseline). The metric is looked up in the
+// full Metrics map, so custom b.ReportMetric units gate too.
+func Gate(current, baseline []Result, spec GateSpec) error {
+	find := func(rs []Result, which string) (float64, error) {
+		for _, r := range rs {
+			if r.Name != spec.Name {
+				continue
+			}
+			if v, ok := r.Metrics[spec.Metric]; ok {
+				return v, nil
+			}
+			return 0, fmt.Errorf("benchjson: %s has no %s metric in %s", spec.Name, spec.Metric, which)
+		}
+		return 0, fmt.Errorf("benchjson: gated benchmark %s missing from %s", spec.Name, which)
 	}
-	base, ok := find(baseline)
-	if !ok {
-		return fmt.Errorf("benchjson: gated benchmark %s missing from baseline", name)
+	cur, err := find(current, "current run")
+	if err != nil {
+		return err
 	}
-	limit := base.AllocsOp * (1 + tolerance)
-	if cur.AllocsOp > limit {
-		return fmt.Errorf("benchjson: %s allocs/op regressed: %v > %v (baseline %v +%.0f%%)",
-			name, cur.AllocsOp, limit, base.AllocsOp, tolerance*100)
+	base, err := find(baseline, "baseline")
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %s allocs/op %v within %v (baseline %v +%.0f%%)\n",
-		name, cur.AllocsOp, limit, base.AllocsOp, tolerance*100)
+	limit := base * (1 + spec.Tolerance)
+	if cur > limit {
+		return fmt.Errorf("benchjson: %s %s regressed: %v > %v (baseline %v +%.0f%%)",
+			spec.Name, spec.Metric, cur, limit, base, spec.Tolerance*100)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s %s %v within %v (baseline %v +%.0f%%)\n",
+		spec.Name, spec.Metric, cur, limit, base, spec.Tolerance*100)
 	return nil
 }
+
+// gateList collects repeated -gate flags.
+type gateList []string
+
+func (g *gateList) String() string     { return strings.Join(*g, ",") }
+func (g *gateList) Set(v string) error { *g = append(*g, v); return nil }
 
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output JSON path ('-' for stdout)")
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
-	gateName := flag.String("gate", "BenchmarkSimQuantum", "benchmark whose allocs/op is gated")
-	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional allocs/op regression")
+	var gates gateList
+	flag.Var(&gates, "gate", "gate spec 'Name', 'Name=metric' or 'Name=metric:tolerance' (repeatable; default gates BenchmarkSimQuantum allocs/op and ns/op, BenchmarkTimelineRecord allocs/op)")
+	tolerance := flag.Float64("tolerance", 0.20, "default fractional regression for gate specs without an explicit tolerance")
 	flag.Parse()
 
 	results, err := Parse(os.Stdin)
@@ -154,8 +216,31 @@ func main() {
 		if err := json.Unmarshal(raw, &base); err != nil {
 			fatal(fmt.Errorf("benchjson: bad baseline %s: %v", *baseline, err))
 		}
-		if err := Gate(results, base.Benchmarks, *gateName, *tolerance); err != nil {
-			fatal(err)
+		if len(gates) == 0 {
+			// The repo's standing regression contract: allocations on
+			// the per-quantum hot paths are bit-stable and gated tight
+			// (SimQuantum within -tolerance, TimelineRecord pinned at
+			// its baseline of zero); SimQuantum ns/op gets a coarse 25%
+			// cliff gate.
+			gates = gateList{
+				"BenchmarkSimQuantum",
+				"BenchmarkSimQuantum=ns/op:0.25",
+				"BenchmarkTimelineRecord=allocs/op:0",
+			}
+		}
+		failed := false
+		for _, raw := range gates {
+			spec, err := ParseGateSpec(raw, *tolerance)
+			if err != nil {
+				fatal(err)
+			}
+			if err := Gate(results, base.Benchmarks, spec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
 		}
 	}
 }

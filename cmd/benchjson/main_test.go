@@ -38,17 +38,87 @@ func TestParse(t *testing.T) {
 	}
 }
 
-func TestGate(t *testing.T) {
-	base := []Result{{Name: "BenchmarkSimQuantum", AllocsOp: 100}}
-	ok := []Result{{Name: "BenchmarkSimQuantum", AllocsOp: 119}}
-	if err := Gate(ok, base, "BenchmarkSimQuantum", 0.20); err != nil {
+// bench builds a Result the way Parse would: Metrics carries every
+// unit, with the well-known ones mirrored into the named fields.
+func bench(name string, ns, bytes, allocs float64) Result {
+	return Result{
+		Name: name, NsPerOp: ns, BytesPerOp: bytes, AllocsOp: allocs,
+		Metrics: map[string]float64{"ns/op": ns, "B/op": bytes, "allocs/op": allocs},
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	spec := GateSpec{Name: "BenchmarkSimQuantum", Metric: "allocs/op", Tolerance: 0.20}
+	base := []Result{bench("BenchmarkSimQuantum", 1000, 64, 100)}
+	ok := []Result{bench("BenchmarkSimQuantum", 1000, 64, 119)}
+	if err := Gate(ok, base, spec); err != nil {
 		t.Errorf("within tolerance rejected: %v", err)
 	}
-	bad := []Result{{Name: "BenchmarkSimQuantum", AllocsOp: 121}}
-	if err := Gate(bad, base, "BenchmarkSimQuantum", 0.20); err == nil {
+	bad := []Result{bench("BenchmarkSimQuantum", 1000, 64, 121)}
+	if err := Gate(bad, base, spec); err == nil {
 		t.Error("regression past tolerance accepted")
 	}
-	if err := Gate(ok, base, "BenchmarkMissing", 0.20); err == nil {
+	spec.Name = "BenchmarkMissing"
+	if err := Gate(ok, base, spec); err == nil {
 		t.Error("missing gate benchmark accepted")
+	}
+}
+
+func TestGateNsPerOp(t *testing.T) {
+	spec := GateSpec{Name: "BenchmarkSimQuantum", Metric: "ns/op", Tolerance: 0.25}
+	base := []Result{bench("BenchmarkSimQuantum", 2000000, 0, 158)}
+	ok := []Result{bench("BenchmarkSimQuantum", 2499999, 0, 158)}
+	if err := Gate(ok, base, spec); err != nil {
+		t.Errorf("24.99%% slower rejected: %v", err)
+	}
+	bad := []Result{bench("BenchmarkSimQuantum", 2500001, 0, 158)}
+	if err := Gate(bad, base, spec); err == nil {
+		t.Error(">25% ns/op regression accepted")
+	}
+}
+
+func TestGateZeroTolerancePinsZeroAllocs(t *testing.T) {
+	spec := GateSpec{Name: "BenchmarkTimelineRecord", Metric: "allocs/op", Tolerance: 0}
+	base := []Result{bench("BenchmarkTimelineRecord", 22, 0, 0)}
+	if err := Gate([]Result{bench("BenchmarkTimelineRecord", 30, 0, 0)}, base, spec); err != nil {
+		t.Errorf("still-zero allocs rejected: %v", err)
+	}
+	if err := Gate([]Result{bench("BenchmarkTimelineRecord", 22, 16, 1)}, base, spec); err == nil {
+		t.Error("single alloc on a pinned-zero benchmark accepted")
+	}
+}
+
+func TestGateMissingMetric(t *testing.T) {
+	spec := GateSpec{Name: "BenchmarkSimQuantum", Metric: "MB/s", Tolerance: 0.1}
+	rs := []Result{bench("BenchmarkSimQuantum", 1000, 0, 0)}
+	if err := Gate(rs, rs, spec); err == nil {
+		t.Error("gate on absent metric accepted")
+	}
+}
+
+func TestParseGateSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want GateSpec
+	}{
+		{"BenchmarkSimQuantum", GateSpec{"BenchmarkSimQuantum", "allocs/op", 0.20}},
+		{"BenchmarkSimQuantum=ns/op", GateSpec{"BenchmarkSimQuantum", "ns/op", 0.20}},
+		{"BenchmarkSimQuantum=ns/op:0.25", GateSpec{"BenchmarkSimQuantum", "ns/op", 0.25}},
+		{"BenchmarkTimelineRecord=allocs/op:0", GateSpec{"BenchmarkTimelineRecord", "allocs/op", 0}},
+	}
+	for _, c := range cases {
+		got, err := ParseGateSpec(c.in, 0.20)
+		if err != nil {
+			t.Errorf("ParseGateSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseGateSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "=ns/op", "Bench=", "Bench=ns/op:x", "Bench=ns/op:-1"} {
+		if _, err := ParseGateSpec(bad, 0.20); err == nil {
+			t.Errorf("ParseGateSpec(%q) accepted", bad)
+		}
 	}
 }

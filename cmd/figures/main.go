@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling|robust|degr|servers|smt] [-csv] [-workers N] [-runstats] [-cpuprofile f] [-memprofile f]
+//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling|robust|degr|servers|smt|timeline] [-csv] [-workers N] [-runstats] [-timelineout f] [-cpuprofile f] [-memprofile f]
+//
+// -fig timeline renders per-window telemetry (bus utilization,
+// admission decisions, saturation) for the saturated mix under the
+// Linux baseline and the Quanta Window policy; -timelineout
+// additionally writes the windows as a machine-readable artifact (CSV
+// when the path ends in .csv, NDJSON otherwise).
 package main
 
 import (
@@ -23,52 +29,41 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: all, cal, hit, 1a, 1b, 2a, 2b, 2c, ablw, ablq, ovh, zoo, sampling, robust, degr, servers, smt")
+	fig := flag.String("fig", "all", "which artifact to regenerate: all, cal, hit, 1a, 1b, 2a, 2b, 2c, ablw, ablq, ovh, zoo, sampling, robust, degr, servers, smt, timeline (not part of all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	app := flag.String("app", "BT", "application for the scheduler-zoo comparison")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	runstats := flag.Bool("runstats", false, "print run-level metrics (per-batch wall time, simulated quanta, bus utilization, worker occupancy) after the figures")
+	timelineOut := flag.String("timelineout", "", "with -fig timeline: write per-window telemetry to this file (.csv = CSV, else NDJSON)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole regeneration to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after a final GC) to this file on exit")
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
+	profiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			runtime.GC() // settle live heap so the profile reflects retained allocations
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
-		}()
+	err = run(*fig, *csv, *app, *workers, *runstats, *timelineOut)
+	// Finish the profiles before deciding the exit: a clean run flushes
+	// complete files; a failed run removes the partial ones instead of
+	// leaving truncated profiles that pprof would half-read.
+	if perr := profiles.finish(err != nil); err == nil {
+		err = perr
 	}
+	if err != nil {
+		fatal(err)
+	}
+}
 
-	opt := busaware.ExperimentOptions{Workers: *workers}
+func run(fig string, csv bool, app string, workers int, runstats bool, timelineOut string) error {
+	opt := busaware.ExperimentOptions{Workers: workers}
 	var metrics *busaware.RunMetrics
-	if *runstats {
+	if runstats {
 		metrics = busaware.NewRunMetrics()
 		opt.Metrics = metrics
 	}
 	emit := func(t *report.Table) {
-		if *csv {
+		if csv {
 			fmt.Print(t.CSV())
 		} else {
 			fmt.Println(t.String())
@@ -80,7 +75,7 @@ func main() {
 		}
 	}()
 
-	run := map[string]func() error{
+	figs := map[string]func() error{
 		"cal": func() error { return calibration(opt, emit) },
 		"hit": func() error { return hitRates(emit) },
 		"1a":  func() error { return figure1(opt, emit, true) },
@@ -100,36 +95,104 @@ func main() {
 		"ablw":     func() error { return windowAblation(opt, emit) },
 		"ablq":     func() error { return quantumAblation(opt, emit) },
 		"ovh":      func() error { return overhead(opt, emit) },
-		"zoo":      func() error { return zoo(opt, *app, emit) },
+		"zoo":      func() error { return zoo(opt, app, emit) },
 		"sampling": func() error { return sampling(opt, emit) },
 		"robust":   func() error { return robustness(opt, emit) },
 		"degr":     func() error { return degradation(opt, emit) },
 		"servers":  func() error { return servers(opt, emit) },
 		"smt":      func() error { return smt(opt, emit) },
+		"timeline": func() error { return timelineFigure(emit, timelineOut) },
 	}
+	// "timeline" is deliberately outside the all-order: it is an
+	// observability artifact, not a paper figure, and keeping it out
+	// preserves -fig all output byte-for-byte.
 	order := []string{"cal", "hit", "1a", "1b", "2a", "2b", "2c", "ablw", "ablq", "ovh", "zoo", "sampling", "robust", "degr", "servers", "smt"}
 
-	which := strings.ToLower(*fig)
+	which := strings.ToLower(fig)
 	if which == "all" {
 		for _, k := range order {
-			if err := run[k](); err != nil {
-				fatal(err)
+			if err := figs[k](); err != nil {
+				return err
 			}
 		}
-		return
+		return nil
 	}
-	f, ok := run[which]
+	f, ok := figs[which]
 	if !ok {
-		fatal(fmt.Errorf("unknown figure %q (want one of: all %s)", which, strings.Join(order, " ")))
+		return fmt.Errorf("unknown figure %q (want one of: all %s timeline)", which, strings.Join(order, " "))
 	}
-	if err := f(); err != nil {
-		fatal(err)
-	}
+	return f()
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "figures:", err)
 	os.Exit(1)
+}
+
+// profileState tracks the pprof outputs so error paths can clean up.
+// The previous shape hung profile completion off deferred closures
+// that fatal()'s os.Exit skipped, leaving a truncated CPU profile (and
+// no heap profile) exactly when a run failed.
+type profileState struct {
+	cpuFile *os.File
+	cpuPath string
+	memPath string
+}
+
+// startProfiles opens the CPU profile (if requested) and records the
+// heap-profile destination for finish.
+func startProfiles(cpuPath, memPath string) (*profileState, error) {
+	p := &profileState{cpuPath: cpuPath, memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			os.Remove(cpuPath)
+			return nil, err
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// finish completes both profiles. On failure it stops and deletes them
+// — a partial profile is worse than none — and never masks the run's
+// own error.
+func (p *profileState) finish(failed bool) error {
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuFile.Close()
+		if failed {
+			os.Remove(p.cpuPath)
+		} else if err != nil {
+			first = err
+		}
+	}
+	if p.memPath != "" && !failed {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return firstErr(first, err)
+		}
+		runtime.GC() // settle live heap so the profile reflects retained allocations
+		werr := pprof.WriteHeapProfile(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			os.Remove(p.memPath)
+			return firstErr(first, firstErr(werr, cerr))
+		}
+	}
+	return first
+}
+
+func firstErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
 }
 
 // runstatsTable renders the run-level metrics the parallel runner

@@ -24,6 +24,12 @@
 // keeps the pool computing — the overload scenario that makes 429
 // shedding observable from the outside.
 //
+// -timeline subscribes to the first target's GET /v1/timeline for the
+// run's duration and adds a correlation section to the artifact: how
+// many p99-or-slower requests were in flight while the server published
+// a bus-saturated telemetry window. Against a gateway the merged stream
+// covers every backend.
+//
 // -targets spreads the closed-loop clients across several base URLs
 // (smpsimd backends, or smpgw gateways) round-robin by client; byte
 // identity is still enforced globally, so any divergence between
@@ -98,6 +104,7 @@ func (e *mixEntry) check(variant int64, body []byte) bool {
 type result struct {
 	code    int // 0 = transport error
 	latency time.Duration
+	done    time.Time // completion wall clock (for timeline correlation)
 	mixIdx  int
 	match   bool // body matched the entry's reference (200s only)
 	hit     bool // served from a response cache (200s only)
@@ -127,6 +134,10 @@ type Summary struct {
 	Mix       []string    `json:"mix"`
 	// Targets are the base URLs the clients were spread across.
 	Targets []string `json:"targets"`
+	// Timeline correlates client-side p99 spikes with the server-side
+	// telemetry windows streamed during the run (-timeline; absent when
+	// disabled or the feed was unreachable).
+	Timeline *TimelineCorrelation `json:"timeline,omitempty"`
 }
 
 // Percentiles summarizes a latency distribution in milliseconds.
@@ -151,6 +162,7 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 	out := flag.String("out", "", "write the JSON summary to this file as well as stdout")
 	strict := flag.Bool("strict", false, "also fail on any non-200 (including 429s)")
+	timeline := flag.Bool("timeline", false, "stream the first target's /v1/timeline during the run and correlate p99 latency spikes with bus-saturated windows")
 	flag.Parse()
 
 	entries, err := buildMix(*mix, *policies, *seed)
@@ -188,6 +200,17 @@ func main() {
 			MaxIdleConnsPerHost: *clients,
 		},
 	}
+	var watcher *timelineWatcher
+	if *timeline {
+		// Subscribe before load starts so no window of the run is
+		// missed; the gateway's merged stream covers all backends when
+		// the first target is an smpgw.
+		watcher = watchTimeline(httpc, bases[0])
+		if watcher == nil {
+			fmt.Fprintln(os.Stderr, "smpload: warning: /v1/timeline unreachable; correlation disabled")
+		}
+	}
+
 	results := make([]result, *requests)
 	batch := 1
 	if *sweep > 1 {
@@ -235,6 +258,12 @@ func main() {
 
 	s := summarize(results, entries, *clients, elapsed)
 	s.Targets = bases
+	if watcher != nil {
+		// A short grace period lets windows sealed by the final cells
+		// reach the subscriber before the stream is cut.
+		time.Sleep(200 * time.Millisecond)
+		s.Timeline = correlate(results, watcher.stop(), s.LatencyMs.P99)
+	}
 	body, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -303,7 +332,7 @@ func issue(httpc *http.Client, addr string, e *mixEntry, mixIdx int, variant int
 	if err != nil {
 		return result{code: 0, latency: lat, mixIdx: mixIdx}
 	}
-	r := result{code: resp.StatusCode, latency: lat, mixIdx: mixIdx, match: true}
+	r := result{code: resp.StatusCode, latency: lat, done: t0.Add(lat), mixIdx: mixIdx, match: true}
 	if resp.StatusCode == http.StatusOK {
 		r.match = e.check(variant, body)
 		r.hit = resp.Header.Get("X-Cache") == "hit"
@@ -389,7 +418,8 @@ func issueSweep(httpc *http.Client, addr string, entries []*mixEntry, spread int
 			continue
 		}
 		ref := refs[line.Index]
-		r := result{code: line.Status, latency: time.Since(t0), mixIdx: ref.mixIdx, match: true}
+		now := time.Now()
+		r := result{code: line.Status, latency: now.Sub(t0), done: now, mixIdx: ref.mixIdx, match: true}
 		if line.Status == http.StatusOK {
 			r.match = ref.e.check(ref.variant, line.Response)
 			r.hit = line.Cache == "hit"

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// The -timeline mode answers the question load numbers alone cannot:
+// when client latency spikes, was the *simulated machine* saturated,
+// or was it the serving layer (queueing, cache misses)? The driver
+// subscribes to the target's GET /v1/timeline for the duration of the
+// run, keeps every window the server seals, and afterwards checks each
+// p99-or-worse request against the windows published while it was in
+// flight. Pointed at a gateway, the merged stream covers the whole
+// cluster.
+
+// timelineEvent mirrors the server's /v1/timeline NDJSON line shape —
+// declared locally so smpload stays a pure HTTP client of the wire
+// format, importing no server code.
+type timelineEvent struct {
+	WallMs  int64  `json:"wall_ms"`
+	Key     string `json:"key"`
+	Backend string `json:"backend"`
+	Window  struct {
+		Quanta    int64   `json:"quanta"`
+		UtilSum   float64 `json:"util_sum"`
+		Saturated int64   `json:"saturated"`
+	} `json:"window"`
+}
+
+// TimelineCorrelation is the timeline section of the Summary artifact:
+// how many of the slowest requests overlapped a bus-saturated window.
+type TimelineCorrelation struct {
+	// WindowsObserved and SaturatedWindows count the windows streamed
+	// during the run; a window is saturated when any of its quanta
+	// crossed the server's saturation threshold.
+	WindowsObserved  int `json:"windows_observed"`
+	SaturatedWindows int `json:"saturated_windows"`
+	// P99ThresholdMs is the latency at or above which a 200 counts as a
+	// spike.
+	P99ThresholdMs float64 `json:"p99_threshold_ms"`
+	Spikes         int     `json:"spikes"`
+	// SpikesDuringSaturation counts spikes whose in-flight interval
+	// overlapped (within one second of slack — windows publish when
+	// sealed, not continuously) a saturated window's publication.
+	SpikesDuringSaturation int `json:"spikes_during_saturation"`
+}
+
+// timelineWatcher streams /v1/timeline concurrently with the load run.
+type timelineWatcher struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu     sync.Mutex
+	events []timelineEvent
+}
+
+// watchTimeline subscribes to base's live feed (no backlog: only
+// windows sealed during this run). Returns nil if the endpoint is
+// unreachable — correlation is then reported as absent, not fatal: the
+// load numbers are still good.
+func watchTimeline(httpc *http.Client, base string) *timelineWatcher {
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/timeline?backlog=0", nil)
+	if err != nil {
+		cancel()
+		return nil
+	}
+	// The stream must outlive the per-request timeout of the load
+	// client; share its transport but not its deadline.
+	streamc := &http.Client{Transport: httpc.Transport}
+	resp, err := streamc.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		cancel()
+		return nil
+	}
+	w := &timelineWatcher{cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			raw := bytes.TrimSpace(sc.Bytes())
+			if len(raw) == 0 {
+				continue
+			}
+			var ev timelineEvent
+			if err := json.Unmarshal(raw, &ev); err != nil {
+				continue
+			}
+			w.mu.Lock()
+			w.events = append(w.events, ev)
+			w.mu.Unlock()
+		}
+	}()
+	return w
+}
+
+// stop ends the subscription and returns everything streamed.
+func (w *timelineWatcher) stop() []timelineEvent {
+	w.cancel()
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.events
+}
+
+// correlate matches p99-or-slower 200s against saturated windows
+// published while they were in flight.
+func correlate(results []result, events []timelineEvent, p99Ms float64) *TimelineCorrelation {
+	c := &TimelineCorrelation{P99ThresholdMs: p99Ms, WindowsObserved: len(events)}
+	var satTimes []int64
+	for _, ev := range events {
+		if ev.Window.Saturated > 0 {
+			c.SaturatedWindows++
+			satTimes = append(satTimes, ev.WallMs)
+		}
+	}
+	const slackMs = int64(1000)
+	for _, r := range results {
+		if r.code != http.StatusOK || float64(r.latency)/float64(time.Millisecond) < p99Ms {
+			continue
+		}
+		c.Spikes++
+		doneMs := r.done.UnixMilli()
+		startMs := doneMs - r.latency.Milliseconds()
+		for _, t := range satTimes {
+			if t >= startMs-slackMs && t <= doneMs+slackMs {
+				c.SpikesDuringSaturation++
+				break
+			}
+		}
+	}
+	return c
+}

@@ -72,7 +72,7 @@ func main() {
 		if *timeline {
 			embed = tl
 		}
-		resp, err := server.NewResponse(res, embed)
+		resp, err := server.NewResponse(res, embed, nil)
 		if err != nil {
 			fatal(err)
 		}

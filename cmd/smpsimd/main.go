@@ -2,8 +2,9 @@
 // runs one workload cell (same grammar and defaults as the smpsim CLI)
 // on a shared bounded worker pool, with an exact-key response cache,
 // admission control (429 + Retry-After under overload), per-request
-// deadlines, /healthz, Prometheus /metrics and graceful drain on
-// SIGTERM/SIGINT.
+// deadlines, a live telemetry stream (GET /v1/timeline: every run's
+// per-quantum windows as NDJSON while the run executes), /healthz,
+// Prometheus /metrics and graceful drain on SIGTERM/SIGINT.
 //
 // Usage:
 //
@@ -38,15 +39,19 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
 	simDelay := flag.Duration("simdelay", 0, "artificial per-cell latency, standing in for expensive cells (overload/drain demos)")
+	tlQuanta := flag.Int("timeline-window", 0, "telemetry window span in quanta (0 = 64); smaller spans stream /v1/timeline windows sooner")
+	tlWindows := flag.Int("timeline-windows", 0, "per-run retained window ring size (0 = 256); older windows fold into the run summary")
 	flag.Parse()
 
 	s := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *timeout,
-		RetryAfter:     *retryAfter,
-		SimDelay:       *simDelay,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		RequestTimeout:  *timeout,
+		RetryAfter:      *retryAfter,
+		SimDelay:        *simDelay,
+		TimelineQuanta:  *tlQuanta,
+		TimelineWindows: *tlWindows,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 

@@ -16,8 +16,9 @@
 // policy) are rejected locally without spending a backend round trip.
 //
 // Endpoints mirror smpsimd: POST /v1/simulate, POST /v1/sweep,
-// GET /healthz, GET /metrics (per-backend health/inflight/shed/
-// failover gauges under the smpgw_ namespace).
+// GET /v1/timeline (backend telemetry streams multiplexed, summaries
+// merged — see timeline.go), GET /healthz, GET /metrics (per-backend
+// health/inflight/shed/failover gauges under the smpgw_ namespace).
 package gateway
 
 import (
@@ -145,6 +146,7 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	g.mux.HandleFunc("/v1/simulate", g.handleSimulate)
 	g.mux.HandleFunc("/v1/sweep", g.handleSweep)
+	g.mux.HandleFunc("/v1/timeline", g.handleTimeline)
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
 	interval := cfg.ProbeInterval

@@ -11,6 +11,7 @@ import (
 	"busaware/internal/machine"
 	"busaware/internal/sched"
 	"busaware/internal/sim"
+	"busaware/internal/timeline"
 	"busaware/internal/trace"
 	"busaware/internal/units"
 	"busaware/internal/workload"
@@ -42,6 +43,12 @@ type Request struct {
 	// Trace embeds the Chrome trace-event JSON of the run's schedule in
 	// the response.
 	Trace bool `json:"trace,omitempty"`
+	// Timeline embeds the run's per-window telemetry (bus utilization,
+	// admission decisions, queue depths, fault counts aggregated into
+	// 64-quantum windows) in the response. Telemetry is collected for
+	// every run regardless — this flag only controls whether the
+	// windows ride back on the response body.
+	Timeline bool `json:"timeline,omitempty"`
 }
 
 // compiled is a validated, normalized request, ready to run: every
@@ -58,8 +65,13 @@ type compiled struct {
 	// them, so a compiled request is single-use.
 	Apps  []*workload.App
 	Trace bool
-	// timeline is attached by Server.submit when Trace is set.
-	timeline *trace.Timeline
+	// Timeline asks for per-window telemetry in the response.
+	Timeline bool
+	// chromeTrace is attached by Server.submit when Trace is set;
+	// collector when Timeline telemetry is flowing (always, for the
+	// live /v1/timeline feed).
+	chromeTrace *trace.Timeline
+	collector   *timeline.Collector
 }
 
 // compile validates req, applies defaults, and builds the runnable
@@ -103,13 +115,14 @@ func compile(req Request) (*compiled, error) {
 		return nil, err
 	}
 	return &compiled{
-		Key: fmt.Sprintf("v1|policy=%s|seed=%d|cpus=%d|maxt=%d|trace=%t|faults=%s|apps=%s",
-			policy, seed, m.NumCPUs, int64(maxTime), req.Trace,
+		Key: fmt.Sprintf("v1|policy=%s|seed=%d|cpus=%d|maxt=%d|trace=%t|tl=%t|faults=%s|apps=%s",
+			policy, seed, m.NumCPUs, int64(maxTime), req.Trace, req.Timeline,
 			faultKey(fcfg), workload.CanonicalSpec(apps)),
 		Config:    sim.Config{Machine: m, MaxTime: maxTime, Faults: fcfg},
 		Scheduler: s,
 		Apps:      apps,
 		Trace:     req.Trace,
+		Timeline:  req.Timeline,
 	}, nil
 }
 
@@ -201,11 +214,40 @@ type Response struct {
 	TimedOut           bool            `json:"timed_out,omitempty"`
 	FaultsInjected     uint64          `json:"faults_injected,omitempty"`
 	TraceEvents        json.RawMessage `json:"trace_events,omitempty"`
+	// Timeline carries the run's per-window telemetry when the request
+	// set "timeline": true.
+	Timeline *TimelineReport `json:"timeline,omitempty"`
 }
 
-// NewResponse converts a completed run (and its optional timeline)
-// into the shared response schema.
-func NewResponse(res sim.Result, tl *trace.Timeline) (*Response, error) {
+// TimelineReport is the per-window telemetry embedded in a Response
+// (and in figures' JSON artifact): the retained windows in sealing
+// order plus the merged run total. Windows are in the sum-form schema
+// of internal/timeline — exact, and mergeable by consumers.
+type TimelineReport struct {
+	QuantaPerWindow     int     `json:"quanta_per_window"`
+	SaturationThreshold float64 `json:"saturation_threshold"`
+	// Evicted counts windows the bounded ring dropped; the Summary
+	// still covers them.
+	Evicted int64             `json:"evicted,omitempty"`
+	Summary timeline.Window   `json:"summary"`
+	Windows []timeline.Window `json:"windows"`
+}
+
+// NewTimelineReport snapshots a collector into the response schema.
+func NewTimelineReport(col *timeline.Collector) *TimelineReport {
+	return &TimelineReport{
+		QuantaPerWindow:     col.QuantaPerWindow(),
+		SaturationThreshold: col.SaturationThreshold(),
+		Evicted:             col.Evicted(),
+		Summary:             col.Summary(),
+		Windows:             col.Windows(),
+	}
+}
+
+// NewResponse converts a completed run (and its optional Chrome trace
+// and timeline telemetry, either nilable) into the shared response
+// schema.
+func NewResponse(res sim.Result, tl *trace.Timeline, col *timeline.Collector) (*Response, error) {
 	resp := &Response{
 		Scheduler:          res.Scheduler,
 		Apps:               make([]AppResult, 0, len(res.Apps)),
@@ -236,6 +278,9 @@ func NewResponse(res sim.Result, tl *trace.Timeline) (*Response, error) {
 			return nil, err
 		}
 		resp.TraceEvents = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	if col != nil {
+		resp.Timeline = NewTimelineReport(col)
 	}
 	return resp, nil
 }

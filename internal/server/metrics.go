@@ -160,6 +160,20 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 		fmt.Fprintf(w, "smpsimd_sweep_cells_total{outcome=%q} %d\n", o, sweepVals[i])
 	}
 
+	tlSum, tlWindows, tlDropped, tlSubs := srv.feed.snapshot()
+	fmt.Fprintln(w, "# HELP smpsimd_timeline_windows_total Telemetry windows sealed and published to the feed.")
+	fmt.Fprintln(w, "# TYPE smpsimd_timeline_windows_total counter")
+	fmt.Fprintf(w, "smpsimd_timeline_windows_total %d\n", tlWindows)
+	fmt.Fprintln(w, "# HELP smpsimd_timeline_dropped_total Feed events dropped on slow subscribers.")
+	fmt.Fprintln(w, "# TYPE smpsimd_timeline_dropped_total counter")
+	fmt.Fprintf(w, "smpsimd_timeline_dropped_total %d\n", tlDropped)
+	fmt.Fprintln(w, "# HELP smpsimd_timeline_subscribers Live /v1/timeline streams.")
+	fmt.Fprintln(w, "# TYPE smpsimd_timeline_subscribers gauge")
+	fmt.Fprintf(w, "smpsimd_timeline_subscribers %d\n", tlSubs)
+	fmt.Fprintln(w, "# HELP smpsimd_timeline_saturated_quanta_total Quanta whose bus utilization crossed the saturation threshold.")
+	fmt.Fprintln(w, "# TYPE smpsimd_timeline_saturated_quanta_total counter")
+	fmt.Fprintf(w, "smpsimd_timeline_saturated_quanta_total %d\n", tlSum.Saturated)
+
 	cs := srv.cache.stats()
 	fmt.Fprintln(w, "# HELP smpsimd_cache_hits_total Response cache hits.")
 	fmt.Fprintln(w, "# TYPE smpsimd_cache_hits_total counter")

@@ -57,6 +57,15 @@ type Config struct {
 	// backpressure and drain behaviour can be demonstrated
 	// deterministically (the CI overload smoke and smpload demos).
 	SimDelay time.Duration
+	// TimelineQuanta is the per-run telemetry window span in quanta
+	// (0 = timeline.DefaultQuantaPerWindow). Smaller windows stream
+	// sooner; the CI smoke uses a small span so even short cells seal
+	// windows mid-run.
+	TimelineQuanta int
+	// TimelineWindows bounds each run's retained window ring (0 = 256).
+	// Older windows fold into the run summary, keeping memory bounded
+	// at millions of quanta.
+	TimelineWindows int
 }
 
 // Server handles the simulation API. Create with New, serve via
@@ -66,6 +75,7 @@ type Server struct {
 	pool    *runner.Pool
 	cache   *respCache
 	metrics *metrics
+	feed    *timelineFeed
 	mux     *http.ServeMux
 
 	// testRunHook, when non-nil, runs inside every simulation cell
@@ -87,10 +97,12 @@ func New(cfg Config) *Server {
 		pool:    runner.NewPool(cfg.Workers, cfg.QueueDepth),
 		cache:   newRespCache(cfg.CacheSize),
 		metrics: newMetrics(),
+		feed:    newTimelineFeed(),
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/timeline", s.handleTimeline)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -194,12 +206,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 // renderBody converts a finished cell into the exact wire bytes the
-// cache stores and every replay serves.
+// cache stores and every replay serves. The telemetry collector rides
+// on every run for the live feed, but windows enter the body — and so
+// the cache — only when the request opted in, and the key encodes that
+// choice, so replays stay byte-identical either way.
 func renderBody(c *compiled, res runner.PoolResult) ([]byte, error) {
 	if res.Err != nil {
 		return nil, res.Err
 	}
-	resp, err := NewResponse(res.Result, c.timeline)
+	col := c.collector
+	if !c.Timeline {
+		col = nil
+	}
+	resp, err := NewResponse(res.Result, c.chromeTrace, col)
 	if err != nil {
 		return nil, err
 	}
@@ -221,11 +240,17 @@ func (s *Server) salvage(c *compiled, out <-chan runner.PoolResult) {
 }
 
 // submit offers the compiled request to the pool as one runner cell.
+// Every run records telemetry into its own bounded collector — not
+// just opted-in ones — so the live /v1/timeline feed sees all traffic;
+// recording is allocation-free per quantum, so this costs nothing the
+// bench gate would notice.
 func (s *Server) submit(c *compiled) (<-chan runner.PoolResult, bool) {
 	if c.Trace {
-		c.timeline = &trace.Timeline{NumCPUs: c.Config.Machine.NumCPUs}
-		c.Config.Timeline = c.timeline
+		c.chromeTrace = &trace.Timeline{NumCPUs: c.Config.Machine.NumCPUs}
+		c.Config.Trace = c.chromeTrace
 	}
+	c.collector = s.newRunCollector(c.Key)
+	c.Config.Timeline = c.collector
 	cell := runner.Cell{
 		Label:     c.Key,
 		Config:    c.Config,

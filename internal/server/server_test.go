@@ -64,7 +64,7 @@ func TestSimulateMatchesDirectRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := NewResponse(res, nil)
+	direct, err := NewResponse(res, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestLateCompletionPopulatesCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := NewResponse(res, nil)
+	direct, err := NewResponse(res, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

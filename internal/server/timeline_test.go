@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimelineEmbeddedInResponse pins the opt-in contract: the same
+// cell with and without "timeline": true returns the same simulation
+// results, but only the opted-in body carries windows — and the window
+// totals agree with the run's own quantum count.
+func TestTimelineEmbeddedInResponse(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, TimelineQuanta: 8})
+
+	resp, body := post(t, ts.URL, fmt.Sprintf(`{"apps":%q,"timeline":true}`, smallSpec))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var withTL Response
+	if err := json.Unmarshal(body, &withTL); err != nil {
+		t.Fatal(err)
+	}
+	if withTL.Timeline == nil {
+		t.Fatal("timeline:true response has no timeline")
+	}
+	if got := withTL.Timeline.QuantaPerWindow; got != 8 {
+		t.Errorf("quanta_per_window = %d, want 8", got)
+	}
+	if n := len(withTL.Timeline.Windows); n == 0 {
+		t.Fatal("no windows in timeline report")
+	}
+	if got, want := withTL.Timeline.Summary.Quanta, int64(withTL.Quanta); got != want {
+		t.Errorf("summary quanta = %d, run quanta = %d", got, want)
+	}
+	var sum int64
+	for _, w := range withTL.Timeline.Windows {
+		sum += w.Quanta
+	}
+	if sum != withTL.Timeline.Summary.Quanta {
+		t.Errorf("window quanta sum = %d, summary = %d (nothing evicted here)", sum, withTL.Timeline.Summary.Quanta)
+	}
+
+	_, plainBody := post(t, ts.URL, fmt.Sprintf(`{"apps":%q}`, smallSpec))
+	var plain Response
+	if err := json.Unmarshal(plainBody, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Timeline != nil {
+		t.Error("timeline absent from request but present in response")
+	}
+	if plain.Quanta != withTL.Quanta || plain.EndTimeUsec != withTL.EndTimeUsec {
+		t.Errorf("telemetry changed results: quanta %d vs %d, end %d vs %d",
+			plain.Quanta, withTL.Quanta, plain.EndTimeUsec, withTL.EndTimeUsec)
+	}
+
+	// Replay must be byte-identical, windows included.
+	resp2, body2 := post(t, ts.URL, fmt.Sprintf(`{"apps":%q,"timeline":true}`, smallSpec))
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("repeat was not a cache hit")
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("timeline replay not byte-identical")
+	}
+}
+
+// TestTimelineSummaryEndpoint checks that every run — opted in or not —
+// feeds the live plane: after two simulate calls the ?summary=1 merge
+// covers both runs' quanta.
+func TestTimelineSummaryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, TimelineQuanta: 8})
+
+	_, b1 := post(t, ts.URL, fmt.Sprintf(`{"apps":%q}`, smallSpec))
+	_, b2 := post(t, ts.URL, fmt.Sprintf(`{"apps":%q,"policy":"linux"}`, smallSpec))
+	var r1, r2 Response
+	if err := json.Unmarshal(b1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b2, &r2); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/timeline?summary=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum TimelineSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Windows == 0 {
+		t.Fatal("no windows published after two runs")
+	}
+	if got, want := sum.Summary.Quanta, int64(r1.Quanta+r2.Quanta); got != want {
+		t.Errorf("merged quanta = %d, want %d (sum of both runs)", got, want)
+	}
+	if sum.QuantaPerWindow != 8 {
+		t.Errorf("quanta_per_window = %d, want 8", sum.QuantaPerWindow)
+	}
+}
+
+// TestTimelineStreamReplayAndMax exercises the NDJSON stream shape:
+// backlog replay delivers already-sealed windows, events carry the
+// run's canonical key, and ?max=N closes the stream after N lines.
+func TestTimelineStreamReplayAndMax(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, TimelineQuanta: 4})
+
+	post(t, ts.URL, fmt.Sprintf(`{"apps":%q}`, smallSpec))
+
+	resp, err := http.Get(ts.URL + "/v1/timeline?max=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	wantKey, err := CanonicalKey(Request{Apps: smallSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TimelineEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev TimelineEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3 (?max=3)", len(events))
+	}
+	for i, ev := range events {
+		if ev.Key != wantKey {
+			t.Errorf("event %d key = %q, want %q", i, ev.Key, wantKey)
+		}
+		if ev.Window.Quanta == 0 {
+			t.Errorf("event %d has an empty window", i)
+		}
+		if i > 0 && ev.Seq <= events[i-1].Seq {
+			t.Errorf("event seqs not increasing: %d then %d", events[i-1].Seq, ev.Seq)
+		}
+	}
+}
+
+// TestTimelineStreamDuringSweep streams /v1/timeline concurrently with
+// a multi-cell sweep — the scenario the CI smoke runs against a real
+// daemon, and the intended -race workout: collector seals inside
+// simulation workers publish into the feed while the HTTP stream reads
+// it. The first window must arrive while the sweep is still running.
+func TestTimelineStreamDuringSweep(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1, TimelineQuanta: 4, SimDelay: 100 * time.Millisecond,
+	})
+
+	// Subscribe before the sweep starts, no backlog: everything seen is
+	// live.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/timeline?backlog=0&max=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+
+	var (
+		wg        sync.WaitGroup
+		sweepDone time.Time
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Four distinct slow cells on one worker: cells 2-4 are still
+		// queued while cell 1's windows seal.
+		cells := `{"cells":[
+			{"apps":"CG"},{"apps":"CG","policy":"linux"},
+			{"apps":"CG","policy":"linux","seed":2},
+			{"apps":"CG","policy":"linux","seed":3}]}`
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(cells))
+		if err == nil {
+			sc := bufio.NewScanner(resp.Body)
+			for sc.Scan() {
+			}
+			resp.Body.Close()
+		}
+		sweepDone = time.Now()
+	}()
+
+	var ev TimelineEvent
+	if err := json.NewDecoder(stream.Body).Decode(&ev); err != nil {
+		t.Fatalf("reading live event: %v", err)
+	}
+	firstEvent := time.Now()
+	wg.Wait()
+
+	if !firstEvent.Before(sweepDone) {
+		t.Errorf("first window arrived %v after the sweep finished — stream is not live",
+			firstEvent.Sub(sweepDone))
+	}
+	if ev.Window.Quanta == 0 {
+		t.Error("live event carries an empty window")
+	}
+}
+
+// TestTimelineBadRequests covers the endpoint's error surface.
+func TestTimelineBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Post(ts.URL+"/v1/timeline", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+
+	for _, q := range []string{"?max=-1", "?backlog=x"} {
+		resp, err := http.Get(ts.URL + "/v1/timeline" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"busaware/internal/machine"
 	"busaware/internal/perfctr"
 	"busaware/internal/sched"
+	"busaware/internal/timeline"
 	"busaware/internal/trace"
 	"busaware/internal/units"
 	"busaware/internal/workload"
@@ -41,9 +42,16 @@ type Config struct {
 	// the per-thread bandwidth estimates the policies consume. See the
 	// SampleMode docs; the default is SampleRequirements.
 	Sampling SampleMode
-	// Timeline, when non-nil, records every placement for later
+	// Trace, when non-nil, records every placement for later
 	// rendering or Chrome-trace export.
-	Timeline *trace.Timeline
+	Trace *trace.Timeline
+	// Timeline, when non-nil, receives one aggregated sample per
+	// quantum — bus utilization and stretch, admission decisions,
+	// queue depth, fault events — windowed into bounded memory by the
+	// collector (see internal/timeline). Recording is allocation-free,
+	// so attaching a collector does not disturb the PR 3 fast path,
+	// and a nil collector costs one branch per quantum.
+	Timeline *timeline.Collector
 	// Faults configures seeded fault injection across the sampling and
 	// signalling paths (see internal/faults). The zero value is inert:
 	// no injector is built and the run is byte-identical to one with no
@@ -186,6 +194,9 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		}
 	}
 	var pending []*appState
+	// connected tracks the scheduler's queue depth (jobs added and not
+	// yet removed) for the timeline's runnable series.
+	connected := 0
 	for i, app := range apps {
 		if app == nil {
 			return Result{}, fmt.Errorf("sim: nil app at index %d", i)
@@ -211,6 +222,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		byApp[app] = st
 		if app.Arrived == 0 {
 			s.Add(st.job)
+			connected++
 		} else {
 			// Dynamic arrival: the application connects to the
 			// scheduler when its arrival time passes, like a process
@@ -236,6 +248,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 	}
 
 	var utilSum float64
+	var prevFaults uint64
 	for remaining > 0 {
 		if m.Now() >= cfg.MaxTime {
 			res.TimedOut = true
@@ -246,6 +259,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		for _, st := range pending {
 			if st.app.Arrived <= m.Now() {
 				s.Add(st.job)
+				connected++
 			} else {
 				kept = append(kept, st)
 			}
@@ -319,10 +333,10 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		res.Migrations += step.Migrations
 		res.ContextSwitches += step.ContextSwitches
 		utilSum += step.MeanUtilization
-		if cfg.Timeline != nil && len(step.Threads) > 0 {
+		if cfg.Trace != nil && len(step.Threads) > 0 {
 			qStart := m.Now() - quantum
 			for _, ts := range step.Threads {
-				cfg.Timeline.Record(trace.Slice{
+				cfg.Trace.Record(trace.Slice{
 					CPU:      ts.CPU,
 					Start:    qStart,
 					Duration: quantum,
@@ -331,7 +345,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 					Migrated: ts.Migrated,
 				})
 			}
-			cfg.Timeline.RecordQuantum(trace.QuantumStat{
+			cfg.Trace.RecordQuantum(trace.QuantumStat{
 				Start:       qStart,
 				Duration:    quantum,
 				Utilization: step.MeanUtilization,
@@ -353,6 +367,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 				st.demandCum += float64(ts.Rate) / ts.Speed
 			}
 		}
+		admitted := 0
 		for _, st := range states {
 			var appTrans uint64
 			for ti := range st.app.Threads {
@@ -363,6 +378,7 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 				appTrans += uint64(rates[perfctr.EventBusTransAny] * float64(quantum))
 			}
 			if n := st.ranThreads; n > 0 {
+				admitted++
 				// BBW/thread: equipartition the application's bandwidth
 				// among its threads.
 				var cum units.Rate
@@ -387,16 +403,42 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 			}
 		}
 
+		// Timeline: one aggregated sample per quantum, recorded after
+		// sampling so admission reflects what actually ran (crash and
+		// signal-loss drops included) and before retirement so the
+		// runnable depth is the queue the scheduler just saw. The
+		// fault delta is read per quantum only when a collector is
+		// attached; the nil path costs exactly this branch.
+		if cfg.Timeline != nil {
+			tot := inj.Stats().Total()
+			cfg.Timeline.RecordQuantum(timeline.Sample{
+				StartUsec:   int64(m.Now() - quantum),
+				DurUsec:     int64(quantum),
+				Utilization: step.MeanUtilization,
+				Served:      float64(step.MeanServed),
+				Stretch:     step.Outcome.Stretch,
+				Placed:      len(step.Threads),
+				Runnable:    connected,
+				Admitted:    admitted,
+				Faults:      int64(tot - prevFaults),
+			})
+			prevFaults = tot
+		}
+
 		// Retire finished applications.
 		for _, st := range states {
 			if !st.app.Profile.Endless() && st.app.Done() && !st.app.IsMarkedCompleted() {
 				st.app.MarkCompleted(m.Now())
 				s.Remove(st.job)
+				connected--
 				remaining--
 			}
 		}
 	}
 	res.EndTime = m.Now()
+	if cfg.Timeline != nil {
+		cfg.Timeline.Seal()
+	}
 	if res.Quanta > 0 {
 		res.MeanBusUtilization = utilSum / float64(res.Quanta)
 	}

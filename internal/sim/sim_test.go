@@ -4,8 +4,10 @@ import (
 	"math"
 	"testing"
 
+	"busaware/internal/faults"
 	"busaware/internal/machine"
 	"busaware/internal/sched"
+	"busaware/internal/timeline"
 	"busaware/internal/trace"
 	"busaware/internal/units"
 	"busaware/internal/workload"
@@ -226,7 +228,7 @@ func TestCustomMachineConfig(t *testing.T) {
 func TestTimelineRecording(t *testing.T) {
 	tl := &trace.Timeline{}
 	apps := []*workload.App{workload.NewApp(profile(t, "Volrend"), "V#1")}
-	res, err := Run(Config{Timeline: tl}, sched.NewGang(4), apps)
+	res, err := Run(Config{Trace: tl}, sched.NewGang(4), apps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,6 +242,89 @@ func TestTimelineRecording(t *testing.T) {
 	_, end := tl.Span()
 	if end != res.EndTime {
 		t.Errorf("timeline end %v != run end %v", end, res.EndTime)
+	}
+}
+
+// TestTimelineCollectorRecording pins the telemetry contract: one
+// sample per quantum, window totals that reconcile exactly with the
+// run's own bookkeeping, and identical simulation results with the
+// collector attached or not.
+func TestTimelineCollectorRecording(t *testing.T) {
+	newApps := func() []*workload.App {
+		return []*workload.App{
+			workload.NewApp(profile(t, "Volrend"), "V#1"),
+			workload.NewApp(workload.BBMA(), "B#1"),
+		}
+	}
+	col, err := timeline.New(timeline.Config{QuantaPerWindow: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Timeline: col}, sched.NewQuantaWindow(4, units.SustainedBusRate), newApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := col.Summary()
+	if got, want := sum.Quanta, int64(res.Quanta); got != want {
+		t.Errorf("collector quanta = %d, run quanta = %d", got, want)
+	}
+	if got, want := int64(res.EndTime), sum.EndUsec; got != want {
+		t.Errorf("collector end %d != run end %d", sum.EndUsec, got)
+	}
+	if sum.UtilSum <= 0 || sum.UtilMax > 1 {
+		t.Errorf("bus utilization out of range: sum %v max %v", sum.UtilSum, sum.UtilMax)
+	}
+	// Two apps connected the whole run, so per-quantum runnable is 2
+	// until Volrend retires; admitted never exceeds runnable.
+	if sum.Runnable < sum.Quanta || sum.Runnable > 2*sum.Quanta {
+		t.Errorf("runnable sum %d outside [%d, %d]", sum.Runnable, sum.Quanta, 2*sum.Quanta)
+	}
+	if sum.Admitted > sum.Runnable || sum.Admitted == 0 {
+		t.Errorf("admitted sum %d vs runnable %d", sum.Admitted, sum.Runnable)
+	}
+	if sum.Deferred != sum.Runnable-sum.Admitted {
+		t.Errorf("deferred %d != runnable-admitted %d", sum.Deferred, sum.Runnable-sum.Admitted)
+	}
+	if sum.Placed == 0 {
+		t.Error("no threads recorded as placed")
+	}
+
+	// Telemetry must be a pure observer: the same workload without a
+	// collector produces identical results.
+	plain, err := Run(Config{}, sched.NewQuantaWindow(4, units.SustainedBusRate), newApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Quanta != res.Quanta || plain.EndTime != res.EndTime ||
+		plain.MeanBusUtilization != res.MeanBusUtilization {
+		t.Errorf("collector perturbed the run: %+v vs %+v", plain, res)
+	}
+}
+
+// TestTimelineCollectorSeesFaults checks fault deltas flow into
+// windows: a faulty run's collector must account every injected fault.
+func TestTimelineCollectorSeesFaults(t *testing.T) {
+	col, err := timeline.New(timeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []*workload.App{
+		workload.NewApp(profile(t, "Volrend"), "V#1"),
+		workload.NewApp(workload.BBMA(), "B#1"),
+	}
+	cfg := Config{
+		Timeline: col,
+		Faults:   faults.Config{Seed: 7, SampleLoss: 0.2, CounterNoise: 0.2},
+	}
+	res, err := Run(cfg, sched.NewQuantaWindow(4, units.SustainedBusRate), apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultStats.Total() == 0 {
+		t.Fatal("fault config injected nothing")
+	}
+	if got, want := col.Summary().Faults, int64(res.FaultStats.Total()); got != want {
+		t.Errorf("collector faults = %d, run injected %d", got, want)
 	}
 }
 
