@@ -1,0 +1,107 @@
+// Command smpchaos is a deterministic network-fault proxy: it sits
+// between smpgw and one smpsimd backend and injects a scripted,
+// seeded schedule of connection resets, corrupted/truncated bodies,
+// blackholes, latency spikes and spurious 503s — per HTTP request, so
+// the schedule is reproducible across runs regardless of connection
+// reuse. The control plane (/healthz by default) is spared so health
+// probes observe the true backend.
+//
+// Usage:
+//
+//	smpchaos -addr :8072 -upstream 127.0.0.1:8082 -seed 42 \
+//	  -script 'reset=0.04*24,corrupt=0.04*24,latency=0.008:800ms*24' \
+//	  -stats-addr 127.0.0.1:8073
+//
+// The stats endpoint serves the injector's per-class fault counts as
+// JSON; the CI chaos gate compares two runs' counts to prove the
+// schedule reproduced.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"busaware/internal/chaos"
+)
+
+func main() {
+	addr := flag.String("addr", ":8072", "listen address")
+	upstream := flag.String("upstream", "", "backend host:port to front (required)")
+	seed := flag.Int64("seed", 1, "fault-schedule seed")
+	script := flag.String("script", "", "fault schedule, e.g. 'reset=0.04*24,corrupt=0.04*24' (empty = transparent)")
+	statsAddr := flag.String("stats-addr", "", "optional address serving injector stats as JSON")
+	spare := flag.String("spare", "/healthz", "comma-separated request paths exempt from injection")
+	flag.Parse()
+	if *upstream == "" {
+		fatal(fmt.Errorf("-upstream is required"))
+	}
+
+	cfg, err := chaos.ParseScript(*seed, *script)
+	if err != nil {
+		fatal(err)
+	}
+	inj, err := chaos.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	spared := make(map[string]bool)
+	for _, p := range strings.Split(*spare, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			spared[p] = true
+		}
+	}
+	p := &chaos.Proxy{Upstream: *upstream, Inj: inj, Spare: spared}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	var statsSrv *http.Server
+	if *statsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			body, _ := json.Marshal(inj.Stats())
+			w.Write(append(body, '\n'))
+		})
+		statsSrv = &http.Server{Addr: *statsAddr, Handler: mux}
+		go func() {
+			if err := statsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("smpchaos: stats server: %v", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- p.Serve(ln) }()
+	log.Printf("smpchaos: %s -> %s (seed=%d script=%q)", ln.Addr(), *upstream, *seed, *script)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	p.Close()
+	if statsSrv != nil {
+		statsSrv.Close()
+	}
+	s := inj.Stats()
+	out, _ := json.Marshal(s)
+	log.Printf("smpchaos: final stats %s", out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smpchaos:", err)
+	os.Exit(1)
+}

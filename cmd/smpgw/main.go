@@ -6,6 +6,16 @@
 // connection errors fail over to the next ring node; and backend 429s
 // are retried after honoring Retry-After before being passed through.
 //
+// The forwarding path is chaos-hardened: each backend sits behind a
+// circuit breaker (consecutive failures or a high windowed error rate
+// open it; after a cooldown one trial request probes recovery), all
+// retries and hedges draw from a global sliding-window retry budget
+// (exhaustion fails fast with 503 and X-Retry-Budget: exhausted
+// instead of amplifying load), slow attempts are hedged to another
+// backend once the tracked p99 delay elapses, and every response body
+// is integrity-checked against its X-Content-Digest before being
+// forwarded — a corrupt body is retried like a connection error.
+//
 // Usage:
 //
 //	smpsimd -addr 127.0.0.1:8081 &
@@ -41,6 +51,12 @@ func main() {
 	retry429 := flag.Int("retry-429", 2, "times a backend 429 is retried (honoring Retry-After) before passing it through")
 	maxRetryAfter := flag.Duration("max-retry-after", 5*time.Second, "cap on one honored Retry-After hint")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight requests")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures tripping a backend's circuit breaker (0 = 5, negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-state cooldown before a breaker probes with one trial request (0 = 2s)")
+	retryBudget := flag.Float64("retry-budget", 0, "retries allowed per request over a sliding window (0 = 0.5, negative = unlimited)")
+	retryBudgetFloor := flag.Int("retry-budget-floor", 0, "minimum retries always allowed per window regardless of volume (0 = 16)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt upstream timeout, the hard bound on a blackholed backend (0 = 15s, negative = unbounded)")
+	hedgeDelayMin := flag.Duration("hedge-delay-min", 0, "floor on the hedging delay; actual delay is max(floor, tracked p99) (0 = 250ms, negative = hedging off)")
 	flag.Parse()
 
 	var addrs []string
@@ -57,6 +73,13 @@ func main() {
 		ProbeFailures: *probeFailures,
 		Retry429:      *retry429,
 		MaxRetryAfter: *maxRetryAfter,
+
+		BreakerFailures:  *breakerFailures,
+		BreakerCooldown:  *breakerCooldown,
+		RetryBudgetRatio: *retryBudget,
+		RetryBudgetFloor: *retryBudgetFloor,
+		AttemptTimeout:   *attemptTimeout,
+		HedgeDelayMin:    *hedgeDelayMin,
 	})
 	if err != nil {
 		fatal(err)

@@ -16,7 +16,11 @@
 // of a mix entry must return a byte-identical body whether it was
 // computed or served from cache; smpload records the first body per
 // (entry, seed-variant) and counts any later divergence as a mismatch
-// (and exits non-zero).
+// (and exits non-zero). Independently of byte identity, every response
+// is checked against its end-to-end integrity digest (X-Content-Digest
+// on /v1/simulate, the digest field on sweep lines); a failed check is
+// counted as a digest mismatch and also exits non-zero, closing the
+// client end of the backend-to-consumer corruption detection path.
 //
 // -spread N rotates the seed over N variants per entry, turning the
 // mix into N times as many distinct cells. With N larger than the
@@ -62,6 +66,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"busaware/internal/digest"
 )
 
 type mixEntry struct {
@@ -108,6 +114,10 @@ type result struct {
 	mixIdx  int
 	match   bool // body matched the entry's reference (200s only)
 	hit     bool // served from a response cache (200s only)
+	// badDigest marks a response whose X-Content-Digest (or sweep line
+	// digest) did not match the bytes received — corruption in flight
+	// that every upstream integrity check missed.
+	badDigest bool
 }
 
 // Summary is the JSON artifact smpload emits.
@@ -123,6 +133,12 @@ type Summary struct {
 	// first response for the same mix entry — must be zero against a
 	// correct server.
 	Mismatches int `json:"mismatches"`
+	// DigestMismatches counts responses whose end-to-end integrity
+	// digest (X-Content-Digest on /v1/simulate, the digest field on
+	// sweep lines) failed to verify against the received bytes — must
+	// be zero; any count means corruption crossed the serving plane
+	// undetected.
+	DigestMismatches int `json:"digest_mismatches"`
 	// Shed is the 429 count, broken out since backpressure is expected
 	// behaviour under overload, not failure.
 	Shed int `json:"shed"`
@@ -278,6 +294,9 @@ func main() {
 	if s.Mismatches > 0 {
 		fatal(fmt.Errorf("%d responses diverged from their first occurrence", s.Mismatches))
 	}
+	if s.DigestMismatches > 0 {
+		fatal(fmt.Errorf("%d responses failed integrity-digest verification", s.DigestMismatches))
+	}
 	if s.Errors > 0 {
 		fatal(fmt.Errorf("%d transport errors", s.Errors))
 	}
@@ -336,6 +355,7 @@ func issue(httpc *http.Client, addr string, e *mixEntry, mixIdx int, variant int
 	if resp.StatusCode == http.StatusOK {
 		r.match = e.check(variant, body)
 		r.hit = resp.Header.Get("X-Cache") == "hit"
+		r.badDigest = !digest.Verify(resp.Header.Get(digest.Header), body)
 	}
 	return r
 }
@@ -349,6 +369,7 @@ type sweepLine struct {
 	Error    string          `json:"error"`
 	Response json.RawMessage `json:"response"`
 	Backend  string          `json:"backend"`
+	Digest   string          `json:"digest"`
 }
 
 // issueSweep sends cells [lo, hi) of the deterministic stream as one
@@ -420,6 +441,11 @@ func issueSweep(httpc *http.Client, addr string, entries []*mixEntry, spread int
 		ref := refs[line.Index]
 		now := time.Now()
 		r := result{code: line.Status, latency: now.Sub(t0), done: now, mixIdx: ref.mixIdx, match: true}
+		// The line's digest folds in the status and the index as this
+		// client sees them (both smpsimd and smpgw stamp for the
+		// receiver's coordinates), so one check covers body bytes, the
+		// status digit, and cell identity.
+		r.badDigest = !digest.VerifyLine(line.Digest, line.Status, line.Index, line.Response)
 		if line.Status == http.StatusOK {
 			r.match = ref.e.check(ref.variant, line.Response)
 			r.hit = line.Cache == "hit"
@@ -445,6 +471,9 @@ func summarize(results []result, entries []*mixEntry, clients int, elapsed time.
 			continue
 		}
 		s.Codes[fmt.Sprint(r.code)]++
+		if r.badDigest {
+			s.DigestMismatches++
+		}
 		switch {
 		case r.code == http.StatusTooManyRequests:
 			s.Shed++

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+)
+
+// Body transforms: the readers that implement ActCorrupt and
+// ActTruncate. Both leave the HTTP framing intact (they wrap only the
+// response body stream), so the result is a transport-valid response
+// carrying wrong bytes — exactly the failure class the integrity
+// digests exist to catch.
+
+// corruptWindow bounds how deep into a body corruption reaches, so a
+// corrupted multi-megabyte sweep stream is damaged near the front (and
+// fails fast) instead of shredded end to end.
+const corruptWindow = 4096
+
+// corruptBlock is the corruption stride: one byte is flipped per block
+// inside the window, at a seed-derived in-block phase.
+const corruptBlock = 64
+
+// ErrInjectedCut is the error a truncating reader returns at the cut
+// point, and the generic injected connection-failure error.
+var ErrInjectedCut = errors.New("chaos: injected connection cut")
+
+// corruptReader flips one byte per corruptBlock within the first
+// corruptWindow bytes of the stream. The flip (XOR 0x20) keeps bytes
+// printable-ish, so the result stays a plausible—but wrong—payload
+// rather than obviously torn garbage.
+type corruptReader struct {
+	r     io.Reader
+	phase int64 // in-block offset of the flipped byte
+	off   int64 // absolute stream offset
+}
+
+func newCorruptReader(r io.Reader, seed uint64) *corruptReader {
+	return &corruptReader{r: r, phase: int64(seed % corruptBlock)}
+}
+
+func (c *corruptReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	for i := 0; i < n; i++ {
+		abs := c.off + int64(i)
+		if abs >= corruptWindow {
+			break
+		}
+		if abs%corruptBlock == c.phase {
+			p[i] ^= 0x20
+		}
+	}
+	c.off += int64(n)
+	return n, err
+}
+
+// truncateReader passes through n bytes, then fails with
+// ErrInjectedCut — the body ends mid-flight, like a peer that died
+// while sending.
+type truncateReader struct {
+	r io.Reader
+	n int64
+}
+
+// truncateAt derives the cut offset from the decision seed: somewhere
+// in the first kilobyte, past the typical first flush so the client
+// has committed to reading the body.
+func truncateAt(seed uint64) int64 {
+	return int64(64 + seed%960)
+}
+
+func newTruncateReader(r io.Reader, seed uint64) *truncateReader {
+	return &truncateReader{r: r, n: truncateAt(seed)}
+}
+
+func (t *truncateReader) Read(p []byte) (int, error) {
+	if t.n <= 0 {
+		return 0, ErrInjectedCut
+	}
+	if int64(len(p)) > t.n {
+		p = p[:t.n]
+	}
+	n, err := t.r.Read(p)
+	t.n -= int64(n)
+	if err == io.EOF {
+		// The body ended before the cut point; nothing to truncate.
+		return n, err
+	}
+	if t.n <= 0 && err == nil {
+		err = ErrInjectedCut
+	}
+	return n, err
+}

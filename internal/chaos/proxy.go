@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"busaware/internal/faults"
+)
+
+// Proxy is a TCP proxy that speaks just enough HTTP/1.1 to place
+// faults per *request* instead of per connection: it frames each
+// request off the client connection, consults the injector, and either
+// forwards the exchange to the upstream or injects the scheduled
+// fault. Framing per request matters for determinism — with keep-alive
+// connections carrying thousands of requests, a per-connection fault
+// schedule would be a schedule over an unpredictable unit.
+//
+// Faults are applied the way a real hostile network presents them:
+// resets are abrupt TCP closes mid-exchange, blackholes accept the
+// request and go silent, corruption flips response-body bytes while
+// leaving the framing valid, truncation cuts the body short, spurious
+// 503s are synthesized without consulting the upstream at all.
+type Proxy struct {
+	// Upstream is the backend host:port the proxy fronts.
+	Upstream string
+	// Inj supplies the fault schedule; nil makes the proxy transparent.
+	Inj *Injector
+	// Spare exempts paths (e.g. /healthz) from injection and from the
+	// event count, keeping the control plane truthful and the data-path
+	// schedule independent of probe cadence.
+	Spare map[string]bool
+	// Sleep substitutes the latency-spike clock for tests.
+	Sleep faults.Sleeper
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// maxProxyBody bounds one framed request body (the sweep cap is 8 MiB).
+const maxProxyBody = 16 << 20
+
+// Serve accepts connections on ln until Close. It returns nil after
+// Close, or the first accept error otherwise.
+func (p *Proxy) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("chaos: proxy closed")
+	}
+	p.ln = ln
+	if p.conns == nil {
+		p.conns = make(map[net.Conn]struct{})
+	}
+	p.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		p.conns[c] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.serveConn(c)
+	}
+}
+
+// Close stops accepting, tears down every live connection, and waits
+// for the connection handlers to exit.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// drop forgets a finished connection.
+func (p *Proxy) drop(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// serveConn relays one client connection, one framed request at a
+// time, over a dedicated upstream connection.
+func (p *Proxy) serveConn(c net.Conn) {
+	defer p.wg.Done()
+	defer p.drop(c)
+	defer c.Close()
+	br := bufio.NewReader(c)
+	var up net.Conn
+	var upr *bufio.Reader
+	defer func() {
+		if up != nil {
+			up.Close()
+		}
+	}()
+	for {
+		req, err := http.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
+		req.Body.Close()
+		if err != nil {
+			return
+		}
+		var d Decision
+		if p.Inj != nil && !p.Spare[req.URL.Path] {
+			d = p.Inj.Decide()
+		}
+		if d.Action == ActLatency {
+			p.Sleep.Sleep(d.Delay)
+		}
+		switch d.Action {
+		case ActReset:
+			// Abrupt close mid-exchange; the deferred closes model the
+			// RST the client observes as an opaque connection error.
+			return
+		case ActBlackhole:
+			// Request swallowed: hold the connection silent until the
+			// client hangs up (its attempt timeout firing).
+			io.Copy(io.Discard, br)
+			return
+		case ActErr5xx:
+			msg := "{\"error\":\"chaos: injected 503\"}\n"
+			fmt.Fprintf(c, "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s", len(msg), msg)
+			continue
+		}
+		if up == nil {
+			up, err = net.Dial("tcp", p.Upstream)
+			if err != nil {
+				return
+			}
+			upr = bufio.NewReader(up)
+		}
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+		if err := req.Write(up); err != nil {
+			return
+		}
+		resp, err := http.ReadResponse(upr, req)
+		if err != nil {
+			return
+		}
+		switch d.Action {
+		case ActCorrupt:
+			resp.Body = readCloser{newCorruptReader(resp.Body, d.Seed), resp.Body}
+		case ActTruncate:
+			resp.Body = readCloser{newTruncateReader(resp.Body, d.Seed), resp.Body}
+		}
+		err = resp.Write(c)
+		resp.Body.Close()
+		if err != nil || resp.Close || req.Close {
+			// A truncated body surfaces here: the write died mid-copy,
+			// and the deferred closes cut the client off mid-body.
+			return
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseScript parses the compact fault-schedule grammar used by
+// cmd/smpchaos and the CI chaos gate:
+//
+//	class=prob[:dur][*max][,class=prob...]
+//
+// where class is one of blackhole, reset, err5xx, truncate, corrupt,
+// latency; prob is the per-event probability; dur (latency only) is
+// the spike size as a Go duration; and *max caps how many faults of
+// the class the run may inject. Example:
+//
+//	reset=0.04*24,corrupt=0.04*24,latency=0.008:800ms*24,err5xx=0.02*8
+//
+// An empty script yields a disabled Config (inert at zero).
+func ParseScript(seed int64, script string) (Config, error) {
+	cfg := Config{Seed: seed}
+	script = strings.TrimSpace(script)
+	if script == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(script, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: clause %q is not class=prob", part)
+		}
+		name = strings.TrimSpace(name)
+		cl := Class{}
+		var dur time.Duration
+		// Split off *max first, then :dur, then the probability.
+		spec, maxPart, hasMax := cutLast(spec, '*')
+		probPart, durPart, hasDur := strings.Cut(spec, ":")
+		p, err := strconv.ParseFloat(strings.TrimSpace(probPart), 64)
+		if err != nil {
+			return cfg, fmt.Errorf("chaos: clause %q: bad probability: %v", part, err)
+		}
+		cl.Prob = p
+		if hasDur {
+			d, err := time.ParseDuration(strings.TrimSpace(durPart))
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: clause %q: bad duration: %v", part, err)
+			}
+			if name != "latency" {
+				return cfg, fmt.Errorf("chaos: clause %q: only latency takes a duration", part)
+			}
+			dur = d
+		}
+		if hasMax {
+			m, err := strconv.ParseUint(strings.TrimSpace(maxPart), 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: clause %q: bad budget: %v", part, err)
+			}
+			cl.Max = m
+		}
+		switch name {
+		case "blackhole":
+			cfg.Blackhole = cl
+		case "reset":
+			cfg.Reset = cl
+		case "err5xx":
+			cfg.Err5xx = cl
+		case "truncate":
+			cfg.Truncate = cl
+		case "corrupt":
+			cfg.Corrupt = cl
+		case "latency":
+			cfg.Latency = cl
+			if dur > 0 {
+				cfg.LatencyDur = dur
+			}
+		default:
+			return cfg, fmt.Errorf("chaos: unknown fault class %q", name)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s string, sep byte) (before, after string, found bool) {
+	if i := strings.LastIndexByte(s, sep); i >= 0 {
+		return s[:i], s[i+1:], true
+	}
+	return s, "", false
+}

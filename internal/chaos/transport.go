@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"busaware/internal/faults"
+)
+
+// Transport wraps an http.RoundTripper with injected network faults —
+// the in-process way to put chaos between the gateway and a backend
+// (tests use it; deployments interpose the cmd/smpchaos TCP proxy
+// instead). A nil Injector makes the wrapper a transparent pass-through.
+type Transport struct {
+	// Base performs the real round trips (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// Inj supplies the fault schedule; nil is inert.
+	Inj *Injector
+	// Sleep substitutes the latency-spike clock for tests.
+	Sleep faults.Sleeper
+	// Spare exempts request paths from injection (the control plane:
+	// health probes must see the true backend state, and sparing them
+	// also keeps probe cadence out of the deterministic event stream).
+	Spare map[string]bool
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.Inj == nil || t.Spare[req.URL.Path] {
+		return base.RoundTrip(req)
+	}
+	d := t.Inj.Decide()
+	switch d.Action {
+	case ActLatency:
+		t.Sleep.Sleep(d.Delay)
+	case ActReset:
+		// Fail the exchange the way a torn TCP stream would: an
+		// opaque connection error after the request was sent.
+		return nil, fmt.Errorf("%s -> %s: %w", req.Method, req.URL.Host, ErrInjectedCut)
+	case ActBlackhole:
+		// No response, ever. Park until the caller's context gives up,
+		// like a peer that accepted the connection and went silent.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("%s -> %s: blackholed: %w", req.Method, req.URL.Host, req.Context().Err())
+	case ActErr5xx:
+		body := []byte("{\"error\":\"chaos: injected 503\"}\n")
+		return &http.Response{
+			StatusCode:    http.StatusServiceUnavailable,
+			Status:        "503 Service Unavailable",
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	switch d.Action {
+	case ActCorrupt:
+		resp.Body = readCloser{newCorruptReader(resp.Body, d.Seed), resp.Body}
+	case ActTruncate:
+		resp.Body = readCloser{newTruncateReader(resp.Body, d.Seed), resp.Body}
+	}
+	return resp, nil
+}
+
+// readCloser pairs a transforming reader with the original body's
+// Close so connection reuse semantics survive the wrap.
+type readCloser struct {
+	io.Reader
+	io.Closer
+}

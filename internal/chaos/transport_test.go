@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"busaware/internal/faults"
+)
+
+// testBody is long enough that the corrupt window is guaranteed to
+// touch it.
+var testBody = bytes.Repeat([]byte(`{"quantum":12345}`), 20)
+
+func newOrigin(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(testBody)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func chaosClient(t *testing.T, cfg Config, spare map[string]bool, sleep faults.Sleeper) *http.Client {
+	t.Helper()
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &http.Client{Transport: &Transport{Inj: in, Spare: spare, Sleep: sleep}}
+}
+
+func TestTransportTransparentWhenInert(t *testing.T) {
+	srv, _ := newOrigin(t)
+	client := chaosClient(t, Config{}, nil, nil)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(b, testBody) {
+		t.Fatal("inert transport altered the body")
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	srv, _ := newOrigin(t)
+	client := chaosClient(t, Config{Seed: 1, Reset: Class{Prob: 1}}, nil, nil)
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("reset must surface as a transport error")
+	}
+}
+
+func TestTransportErr5xxSkipsUpstream(t *testing.T) {
+	srv, hits := newOrigin(t)
+	client := chaosClient(t, Config{Seed: 1, Err5xx: Class{Prob: 1}}, nil, nil)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("spurious 503 must not consult the upstream")
+	}
+}
+
+func TestTransportCorruptKeepsFramingBreaksBytes(t *testing.T) {
+	srv, _ := newOrigin(t)
+	client := chaosClient(t, Config{Seed: 1, Corrupt: Class{Prob: 1}}, nil, nil)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("corrupted body must still read cleanly, got %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (framing intact)", resp.StatusCode)
+	}
+	if len(b) != len(testBody) {
+		t.Fatalf("corruption changed length: %d vs %d", len(b), len(testBody))
+	}
+	if bytes.Equal(b, testBody) {
+		t.Fatal("corruption left the body identical")
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	srv, _ := newOrigin(t)
+	client := chaosClient(t, Config{Seed: 1, Truncate: Class{Prob: 1}}, nil, nil)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil && len(b) == len(testBody) {
+		t.Fatal("truncated body read to completion")
+	}
+}
+
+func TestTransportBlackholeRespectsContext(t *testing.T) {
+	srv, hits := newOrigin(t)
+	client := chaosClient(t, Config{Seed: 1, Blackhole: Class{Prob: 1}}, nil, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("blackholed request must fail")
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("blackhole returned before the context expired")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("blackholed request reached the upstream")
+	}
+}
+
+func TestTransportLatencyUsesSleeper(t *testing.T) {
+	srv, _ := newOrigin(t)
+	var slept time.Duration
+	sleep := faults.Sleeper(func(d time.Duration) { slept += d })
+	client := chaosClient(t, Config{Seed: 1, Latency: Class{Prob: 1}, LatencyDur: 300 * time.Millisecond}, nil, sleep)
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if slept != 300*time.Millisecond {
+		t.Fatalf("slept %v, want the configured 300ms spike", slept)
+	}
+}
+
+func TestTransportSparesControlPlane(t *testing.T) {
+	srv, hits := newOrigin(t)
+	client := chaosClient(t, Config{Seed: 1, Reset: Class{Prob: 1}},
+		map[string]bool{"/healthz": true}, nil)
+	resp, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("spared path must pass through, got %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatal("spared request never reached the upstream")
+	}
+	if s, _ := transportInjector(client); s.Events != 0 {
+		t.Fatalf("spared request consumed a schedule event: %+v", s)
+	}
+}
+
+// transportInjector digs the stats out of a chaosClient.
+func transportInjector(c *http.Client) (Stats, bool) {
+	tr, ok := c.Transport.(*Transport)
+	if !ok {
+		return Stats{}, false
+	}
+	return tr.Inj.Stats(), true
+}
+
+func TestTransportErrorsAreNotDialErrors(t *testing.T) {
+	// The gateway insta-ejects backends only on dial failures; injected
+	// resets model mid-stream death and must not look like one.
+	srv, _ := newOrigin(t)
+	client := chaosClient(t, Config{Seed: 1, Reset: Class{Prob: 1}}, nil, nil)
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("want injected reset error")
+	}
+	if strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("injected reset masquerades as a dial failure: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package digest computes the serving plane's end-to-end
+// response-integrity digests. Every byte the backends emit is
+// deterministic (the response caches replay byte-identical bodies), so
+// a cheap non-cryptographic checksum is enough to detect the failure
+// class TLS-less internal hops cannot: bytes corrupted in flight
+// arriving inside a transport-valid response. The backend stamps the
+// digest at the source, the gateway verifies before forwarding (a
+// mismatch is retried like a connection error, never returned), and
+// smpload verifies again at the client so the whole path is covered.
+//
+// The digest is FNV-64a rendered as "fnv64a:<16 hex digits>". Sweep
+// lines additionally fold the cell's status and index into the hash so
+// a corrupted status or index digit — which would otherwise remap a
+// valid body onto the wrong cell — is also caught.
+package digest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// Header is the HTTP response header carrying the body digest on
+// /v1/simulate responses.
+const Header = "X-Content-Digest"
+
+// prefix names the algorithm so the scheme can evolve without
+// ambiguity; verifiers skip digests they do not recognize.
+const prefix = "fnv64a:"
+
+// Sum digests a whole response body.
+func Sum(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%s%016x", prefix, h.Sum64())
+}
+
+// SumLine digests one sweep NDJSON line: the cell's status and index
+// are folded in ahead of the body so corruption of any of the three is
+// detected. The index must be the one the receiver sees — the gateway
+// verifies against the backend's sub-sweep index, then re-stamps with
+// the client's batch index before forwarding.
+func SumLine(status, index int, body []byte) string {
+	h := fnv.New64a()
+	h.Write(strconv.AppendInt(nil, int64(status), 10))
+	h.Write([]byte{'|'})
+	h.Write(strconv.AppendInt(nil, int64(index), 10))
+	h.Write([]byte{'|'})
+	h.Write(body)
+	return fmt.Sprintf("%s%016x", prefix, h.Sum64())
+}
+
+// Verify reports whether got matches the digest of body. An empty or
+// unrecognized digest verifies trivially — absence of a digest is not
+// corruption (older peers and test fakes do not stamp one).
+func Verify(got string, body []byte) bool {
+	if !known(got) {
+		return true
+	}
+	return got == Sum(body)
+}
+
+// VerifyLine is Verify for sweep lines.
+func VerifyLine(got string, status, index int, body []byte) bool {
+	if !known(got) {
+		return true
+	}
+	return got == SumLine(status, index, body)
+}
+
+// known reports whether d is a digest this package can check.
+func known(d string) bool {
+	return len(d) == len(prefix)+16 && d[:len(prefix)] == prefix
+}

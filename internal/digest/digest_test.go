@@ -1,0 +1,75 @@
+package digest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSumFormat(t *testing.T) {
+	d := Sum([]byte("hello"))
+	if !strings.HasPrefix(d, "fnv64a:") {
+		t.Fatalf("digest %q missing algorithm prefix", d)
+	}
+	if len(d) != len("fnv64a:")+16 {
+		t.Fatalf("digest %q not fixed-width", d)
+	}
+	if d != Sum([]byte("hello")) {
+		t.Fatal("digest not deterministic")
+	}
+	if d == Sum([]byte("hellp")) {
+		t.Fatal("single-byte change not reflected in digest")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	body := []byte(`{"ok":true}` + "\n")
+	if !Verify(Sum(body), body) {
+		t.Fatal("digest of body must verify")
+	}
+	if Verify(Sum(body), append([]byte("x"), body...)) {
+		t.Fatal("digest must not verify a different body")
+	}
+	// Absence and unknown schemes verify trivially: not corruption.
+	if !Verify("", body) {
+		t.Fatal("empty digest must pass (peer did not stamp one)")
+	}
+	if !Verify("sha256:abcdef", body) {
+		t.Fatal("unknown scheme must pass")
+	}
+	// Same length as a real digest but wrong scheme name.
+	if !Verify("xnv64a:0123456789abcdef", body) {
+		t.Fatal("unrecognized prefix must pass")
+	}
+	// A recognized-scheme digest with wrong value must fail.
+	if Verify("fnv64a:0000000000000000", body) {
+		t.Fatal("recognized but wrong digest must fail")
+	}
+}
+
+func TestSumLineCoversStatusAndIndex(t *testing.T) {
+	body := []byte(`{"policy":"linux"}`)
+	d := SumLine(200, 7, body)
+	if !VerifyLine(d, 200, 7, body) {
+		t.Fatal("line digest must verify")
+	}
+	if VerifyLine(d, 500, 7, body) {
+		t.Fatal("status change must break the line digest")
+	}
+	if VerifyLine(d, 200, 8, body) {
+		t.Fatal("index change must break the line digest")
+	}
+	if VerifyLine(d, 200, 7, body[:len(body)-1]) {
+		t.Fatal("body change must break the line digest")
+	}
+	// Field separation: (status=2, idx=27) must differ from (22, 7).
+	if SumLine(2, 27, body) == SumLine(22, 7, body) {
+		t.Fatal("status/index concatenation must be unambiguous")
+	}
+}
+
+func TestLineDigestDiffersFromBodyDigest(t *testing.T) {
+	body := []byte("abc")
+	if Sum(body) == SumLine(200, 0, body) {
+		t.Fatal("line digest must not collide with plain body digest")
+	}
+}

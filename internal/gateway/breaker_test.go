@@ -1,0 +1,152 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's sense of time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testBreaker(threshold int, cd time.Duration) (*breaker, *fakeClock) {
+	b := newBreaker(threshold, cd)
+	c := newFakeClock()
+	b.now = c.now
+	return b, c
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.OnFailure()
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.OnFailure()
+	if b.State() != breakerOpen {
+		t.Fatal("breaker not open after 3 consecutive failures")
+	}
+	if b.Allow() || b.Ready() {
+		t.Fatal("open breaker admitted an attempt before cooldown")
+	}
+	opened, _ := b.Transitions()
+	if opened != 1 {
+		t.Fatalf("opened transitions = %d, want 1", opened)
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	// Scattered failures with successes in between never trip the
+	// consecutive-run condition.
+	for i := 0; i < 10; i++ {
+		b.OnFailure()
+		b.OnFailure()
+		b.OnSuccess()
+	}
+	if b.State() != breakerClosed {
+		t.Fatal("scattered failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.OnFailure()
+	if b.State() != breakerOpen {
+		t.Fatal("threshold-1 breaker not open after one failure")
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("admitted before cooldown elapsed")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Ready() {
+		t.Fatal("not Ready once cooldown elapsed")
+	}
+	if !b.Allow() {
+		t.Fatal("half-open trial refused")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state = %d, want half-open", b.State())
+	}
+	// Exactly one trial: concurrent callers wait for it to resolve.
+	if b.Allow() {
+		t.Fatal("second concurrent half-open trial admitted")
+	}
+	b.OnSuccess()
+	if b.State() != breakerClosed {
+		t.Fatal("successful trial did not re-close")
+	}
+	_, reclosed := b.Transitions()
+	if reclosed != 1 {
+		t.Fatalf("reclosed transitions = %d, want 1", reclosed)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.OnFailure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("trial refused")
+	}
+	b.OnFailure()
+	if b.State() != breakerOpen {
+		t.Fatal("failed trial did not reopen")
+	}
+	if b.Allow() {
+		t.Fatal("admitted immediately after failed trial — cooldown must restart")
+	}
+	opened, _ := b.Transitions()
+	if opened != 2 {
+		t.Fatalf("opened transitions = %d, want 2", opened)
+	}
+}
+
+func TestBreakerErrorRateTrip(t *testing.T) {
+	b, _ := testBreaker(100, time.Second) // run threshold out of reach
+	// 3 failures per 4 outcomes: the run never reaches 100, but once
+	// the 32-outcome window is full at a 75% error rate it trips.
+	for i := 0; i < breakerWindow/4; i++ {
+		b.OnFailure()
+		b.OnFailure()
+		b.OnFailure()
+		b.OnSuccess()
+	}
+	// The window is full of 3/4 failures but ended on a success (run
+	// reset); one more failure re-evaluates the rate.
+	b.OnFailure()
+	if b.State() != breakerOpen {
+		t.Fatal("75% windowed error rate did not trip the breaker")
+	}
+}
+
+func TestBreakerRateNeedsFullWindow(t *testing.T) {
+	b, _ := testBreaker(100, time.Second)
+	// 100% failures but fewer than a full window: no rate trip (and the
+	// run threshold is out of reach), so a cold backend with two bad
+	// samples is not condemned.
+	for i := 0; i < breakerWindow-1; i++ {
+		b.OnFailure()
+	}
+	if b.State() != breakerClosed {
+		t.Fatal("breaker tripped on a partial window")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := testBreaker(-1, time.Second)
+	for i := 0; i < 100; i++ {
+		b.OnFailure()
+	}
+	if !b.Allow() || !b.Ready() || b.State() != breakerClosed {
+		t.Fatal("disabled breaker tripped")
+	}
+}

@@ -1,0 +1,96 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Retry budget: the global cap on retry amplification. Failover, 429
+// waits and hedges all re-send work; under a broad outage every
+// original request would otherwise multiply into several backend
+// attempts exactly when the cluster can least afford them. The budget
+// admits extra attempts only while they stay below ratio × the recent
+// request volume (plus a floor so a quiet gateway can still retry at
+// all); beyond that, requests fail fast with a distinct status instead
+// of piling on.
+//
+// Accounting is a coarse sliding window: two rotating buckets of
+// budgetWindow each, summed, so the ratio is enforced over roughly the
+// last one-to-two windows without per-request timestamps.
+
+// budgetWindow is one accounting bucket's span.
+const budgetWindow = 10 * time.Second
+
+type retryBudget struct {
+	mu    sync.Mutex
+	ratio float64 // extra attempts allowed per request (negative = unlimited)
+	floor int     // minimum allowance per window
+	now   func() time.Time
+
+	curStart  time.Time
+	cur, prev struct{ requests, retries float64 }
+
+	// lifetime totals for /metrics: the chaos gate computes measured
+	// amplification as (requests + retries) / requests.
+	requestsTotal  atomic.Uint64
+	retriesTotal   atomic.Uint64
+	exhaustedTotal atomic.Uint64
+}
+
+func newRetryBudget(ratio float64, floor int) *retryBudget {
+	return &retryBudget{ratio: ratio, floor: floor, now: time.Now}
+}
+
+// rotate ages the buckets (caller holds the lock).
+func (rb *retryBudget) rotate() {
+	now := rb.now()
+	if rb.curStart.IsZero() {
+		rb.curStart = now
+		return
+	}
+	for now.Sub(rb.curStart) >= budgetWindow {
+		rb.prev = rb.cur
+		rb.cur = struct{ requests, retries float64 }{}
+		rb.curStart = rb.curStart.Add(budgetWindow)
+		if now.Sub(rb.curStart) >= 2*budgetWindow {
+			// Long idle gap: both buckets are stale.
+			rb.prev = rb.cur
+			rb.curStart = now
+		}
+	}
+}
+
+// OnRequest credits n client-facing units of work (one per /v1/simulate
+// request, one per sweep cell).
+func (rb *retryBudget) OnRequest(n int) {
+	rb.requestsTotal.Add(uint64(n))
+	rb.mu.Lock()
+	rb.rotate()
+	rb.cur.requests += float64(n)
+	rb.mu.Unlock()
+}
+
+// TryRetry asks to spend n units of retry budget (a failover re-send,
+// a 429 wait-and-retry, or a hedge each cost one unit per cell). The
+// grant is all-or-nothing; a refusal is counted so operators can see
+// fail-fast decisions in smpgw_retry_budget_exhausted_total.
+func (rb *retryBudget) TryRetry(n int) bool {
+	if rb.ratio < 0 {
+		rb.retriesTotal.Add(uint64(n))
+		return true
+	}
+	rb.mu.Lock()
+	rb.rotate()
+	allowed := rb.ratio*(rb.cur.requests+rb.prev.requests) + float64(rb.floor)
+	spent := rb.cur.retries + rb.prev.retries
+	if spent+float64(n) > allowed {
+		rb.mu.Unlock()
+		rb.exhaustedTotal.Add(uint64(n))
+		return false
+	}
+	rb.cur.retries += float64(n)
+	rb.mu.Unlock()
+	rb.retriesTotal.Add(uint64(n))
+	return true
+}

@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"testing"
+)
+
+func testBudget(ratio float64, floor int) (*retryBudget, *fakeClock) {
+	rb := newRetryBudget(ratio, floor)
+	clk := newFakeClock()
+	rb.now = clk.now
+	return rb, clk
+}
+
+func TestBudgetFloorAllowsRetriesWhenQuiet(t *testing.T) {
+	rb, _ := testBudget(0.5, 4)
+	// No requests at all: the floor alone funds retries.
+	for i := 0; i < 4; i++ {
+		if !rb.TryRetry(1) {
+			t.Fatalf("retry %d refused under floor 4", i+1)
+		}
+	}
+	if rb.TryRetry(1) {
+		t.Fatal("retry beyond the floor granted with zero request volume")
+	}
+	if got := rb.exhaustedTotal.Load(); got != 1 {
+		t.Fatalf("exhaustedTotal = %d, want 1", got)
+	}
+}
+
+func TestBudgetScalesWithRequestVolume(t *testing.T) {
+	rb, _ := testBudget(0.5, 0)
+	rb.OnRequest(100)
+	// ratio 0.5 × 100 requests = 50 retries allowed this window.
+	granted := 0
+	for rb.TryRetry(1) {
+		granted++
+		if granted > 100 {
+			t.Fatal("budget never exhausted")
+		}
+	}
+	if granted != 50 {
+		t.Fatalf("granted %d retries for 100 requests at ratio 0.5, want 50", granted)
+	}
+}
+
+func TestBudgetAllOrNothing(t *testing.T) {
+	rb, _ := testBudget(0.5, 0)
+	rb.OnRequest(10) // allowance 5
+	if rb.TryRetry(6) {
+		t.Fatal("batch larger than the remaining allowance granted")
+	}
+	if !rb.TryRetry(5) {
+		t.Fatal("batch exactly the allowance refused")
+	}
+	if rb.TryRetry(1) {
+		t.Fatal("retry granted after the allowance was spent")
+	}
+}
+
+func TestBudgetWindowRotation(t *testing.T) {
+	rb, clk := testBudget(0.5, 0)
+	rb.OnRequest(100)
+	for i := 0; i < 50; i++ {
+		if !rb.TryRetry(1) {
+			t.Fatalf("retry %d refused", i+1)
+		}
+	}
+	// One window later the traffic is in prev and still counts; the
+	// retries spent there also still count, so nothing new is granted.
+	clk.advance(budgetWindow)
+	if rb.TryRetry(1) {
+		t.Fatal("rotation forgot spent retries while remembering requests")
+	}
+	// Two full windows later both buckets have aged out entirely; with
+	// floor 0 and no fresh traffic there is no budget.
+	clk.advance(2 * budgetWindow)
+	if rb.TryRetry(1) {
+		t.Fatal("retry granted with no recent request volume and floor 0")
+	}
+	// Fresh traffic refills it.
+	rb.OnRequest(10)
+	if !rb.TryRetry(1) {
+		t.Fatal("retry refused after fresh request volume")
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	rb, _ := testBudget(-1, 0)
+	for i := 0; i < 1000; i++ {
+		if !rb.TryRetry(1) {
+			t.Fatal("negative ratio must never refuse")
+		}
+	}
+	if rb.exhaustedTotal.Load() != 0 {
+		t.Fatal("unlimited budget counted exhaustions")
+	}
+}
+
+func TestBudgetLifetimeCounters(t *testing.T) {
+	rb, _ := testBudget(0.5, 2)
+	rb.OnRequest(4)
+	rb.TryRetry(2) // granted (0.5*4=2 + floor 2 = 4 allowed)
+	rb.TryRetry(2) // granted
+	rb.TryRetry(2) // refused
+	if got := rb.requestsTotal.Load(); got != 4 {
+		t.Errorf("requestsTotal = %d, want 4", got)
+	}
+	if got := rb.retriesTotal.Load(); got != 4 {
+		t.Errorf("retriesTotal = %d, want 4", got)
+	}
+	if got := rb.exhaustedTotal.Load(); got != 2 {
+		t.Errorf("exhaustedTotal = %d, want 2", got)
+	}
+}
+
+func TestBudgetIdleGapResets(t *testing.T) {
+	rb, clk := testBudget(0.5, 0)
+	rb.OnRequest(100)
+	clk.advance(25 * budgetWindow) // long idle: everything is stale
+	if rb.TryRetry(1) {
+		t.Fatal("stale request volume funded a retry after a long idle gap")
+	}
+}

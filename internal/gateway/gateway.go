@@ -6,32 +6,53 @@
 // it, so per-backend caches stay hot instead of each backend slowly
 // accumulating a lukewarm copy of the whole working set.
 //
-// The gateway treats backends as unreliable: a periodic /healthz probe
-// ejects backends that stop answering and re-admits them when they
-// recover; a connection error during proxying ejects the backend
-// immediately and fails the request over to the next node on the ring
-// (once); and a 429 from a backend is retried after honoring its
-// Retry-After hint before the backpressure is passed through to the
-// client. Requests the gateway can prove invalid (bad spec, unknown
-// policy) are rejected locally without spending a backend round trip.
+// The gateway treats the network between it and the backends as
+// hostile, not merely unreliable:
+//
+//   - A per-backend circuit breaker opens on consecutive failures or a
+//     high recent error rate and recovers through half-open trials;
+//     hard evidence of a dead process (dial refused) still ejects the
+//     backend immediately, and a jittered, backoff-aware /healthz
+//     prober re-admits it (breaker.go, probe.go).
+//   - Failover, 429 waits and hedges all draw on a global retry budget
+//     so retries cannot amplify an overload; once the budget is spent,
+//     requests fail fast with 503 and an "X-Retry-Budget: exhausted"
+//     marker (budget.go).
+//   - A straggling attempt is hedged to the next ring node after a
+//     p99-based delay; the first response wins, the loser is canceled,
+//     and when both complete their bytes are cross-checked (hedge.go).
+//   - Response bodies carry FNV-64a integrity digests end to end; the
+//     gateway verifies every backend body and treats corrupt bytes as
+//     a retryable failure, never returning them to the client.
+//   - Each backend attempt is bounded by AttemptTimeout and stamped
+//     with an absolute X-Deadline-Ms so backends can shed work whose
+//     requester has already given up.
+//
+// Requests the gateway can prove invalid (bad spec, unknown policy)
+// are rejected locally without spending a backend round trip.
 //
 // Endpoints mirror smpsimd: POST /v1/simulate, POST /v1/sweep,
 // GET /v1/timeline (backend telemetry streams multiplexed, summaries
-// merged — see timeline.go), GET /healthz, GET /metrics (per-backend
-// health/inflight/shed/failover gauges under the smpgw_ namespace).
+// merged — see timeline.go), GET /healthz, GET /metrics (health,
+// breaker, budget, hedge and digest counters under the smpgw_
+// namespace).
 package gateway
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"busaware/internal/digest"
 	"busaware/internal/faults"
 	"busaware/internal/server"
 )
@@ -45,13 +66,15 @@ type Config struct {
 	// Replicas is the virtual-node count per backend on the hash ring
 	// (0 = 128).
 	Replicas int
-	// ProbeInterval spaces the /healthz probes (0 = 2s, negative =
-	// probing disabled; tests drive probes explicitly).
+	// ProbeInterval spaces the /healthz probes; the actual delay is
+	// jittered in [0.5, 1.5) × interval (0 = 2s, negative = probing
+	// disabled; tests drive probes explicitly).
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one probe round trip (0 = 1s).
 	ProbeTimeout time.Duration
 	// ProbeFailures is how many consecutive probe failures eject a
-	// backend (0 = 2). Re-admission takes a single success.
+	// backend (0 = 2). Re-admission takes a single success; a backend
+	// that keeps failing is re-probed with exponential backoff.
 	ProbeFailures int
 	// Retry429 is how many times a 429 from the shard owner is retried
 	// (honoring Retry-After) before being passed to the client (0 = 2,
@@ -60,8 +83,28 @@ type Config struct {
 	// MaxRetryAfter caps how long one Retry-After hint is honored
 	// (0 = 5s).
 	MaxRetryAfter time.Duration
+	// BreakerFailures is the consecutive-failure run that opens a
+	// backend's circuit breaker (0 = 5, negative = breaker disabled).
+	BreakerFailures int
+	// BreakerCooldown is the open → half-open trial delay (0 = 2s).
+	BreakerCooldown time.Duration
+	// RetryBudgetRatio caps extra backend attempts (failover, 429
+	// retries, hedges) at ratio × recent request volume (0 = 0.5,
+	// negative = unlimited).
+	RetryBudgetRatio float64
+	// RetryBudgetFloor is the minimum retry allowance per accounting
+	// window, so a quiet gateway can still retry (0 = 16).
+	RetryBudgetFloor int
+	// AttemptTimeout bounds one backend attempt — and serves as the
+	// idle watchdog on sweep streams — so a blackholed connection
+	// cannot pin a request forever (0 = 15s, negative = unbounded).
+	AttemptTimeout time.Duration
+	// HedgeDelayMin floors the hedge delay; the effective delay is
+	// max(HedgeDelayMin, tracked p99) (0 = 250ms, negative = hedging
+	// disabled).
+	HedgeDelayMin time.Duration
 	// Client overrides the proxy HTTP client (nil = keep-alive pooled
-	// transport, no global timeout — backends enforce deadlines).
+	// transport, no global timeout — attempts carry their own).
 	Client *http.Client
 	// Sleep substitutes the retry clock, so tests assert backoff
 	// without real sleeping.
@@ -74,14 +117,16 @@ type backend struct {
 
 	healthy  atomic.Bool
 	inflight atomic.Int64
+	breaker  *breaker
 
 	// shed counts 429s received from this backend; failovers counts
-	// requests moved off it after connection errors.
+	// requests moved off it after failures.
 	shed      atomic.Uint64
 	failovers atomic.Uint64
 
-	// probeFails is touched only by the prober goroutine.
+	// probeFails/probeSkip are touched only by the prober goroutine.
 	probeFails int
+	probeSkip  int
 }
 
 // Gateway shards requests across backends. Create with New, serve via
@@ -94,6 +139,8 @@ type Gateway struct {
 	probec   *http.Client
 	sleep    faults.Sleeper
 	metrics  *gwMetrics
+	budget   *retryBudget
+	tracker  *latencyTracker
 	mux      *http.ServeMux
 
 	stop chan struct{}
@@ -103,7 +150,7 @@ type Gateway struct {
 // New builds a Gateway over cfg.Backends and starts the health prober
 // (unless ProbeInterval < 0). Backends start healthy — optimism lets
 // the gateway serve before the first probe round; a dead backend is
-// ejected by its first failed probe or connection error.
+// ejected by its first failed probe or dial error.
 func New(cfg Config) (*Gateway, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("gateway: no backends")
@@ -119,6 +166,21 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if cfg.MaxRetryAfter <= 0 {
 		cfg.MaxRetryAfter = 5 * time.Second
+	}
+	if cfg.BreakerFailures == 0 {
+		cfg.BreakerFailures = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.RetryBudgetRatio == 0 {
+		cfg.RetryBudgetRatio = 0.5
+	}
+	if cfg.RetryBudgetFloor <= 0 {
+		cfg.RetryBudgetFloor = 16
+	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = 15 * time.Second
 	}
 	client := cfg.Client
 	if client == nil {
@@ -137,11 +199,16 @@ func New(cfg Config) (*Gateway, error) {
 		probec:   &http.Client{Timeout: cfg.ProbeTimeout},
 		sleep:    cfg.Sleep,
 		metrics:  newGWMetrics(),
+		budget:   newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetFloor),
+		tracker:  &latencyTracker{},
 		mux:      http.NewServeMux(),
 		stop:     make(chan struct{}),
 	}
 	for i, addr := range cfg.Backends {
-		g.backends[i] = &backend{addr: addr}
+		g.backends[i] = &backend{
+			addr:    addr,
+			breaker: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
+		}
 		g.backends[i].healthy.Store(true)
 	}
 	g.mux.HandleFunc("/v1/simulate", g.handleSimulate)
@@ -172,16 +239,24 @@ func (g *Gateway) Close() {
 	g.wg.Wait()
 }
 
-// route returns key's backends in preference order, healthy ones
-// first. The unhealthy tail is kept so a request can still be
-// attempted when every backend is ejected (the cluster may be healthier
-// than the prober's last look).
+// route returns key's backends in preference order: healthy backends
+// whose breaker is ready, then healthy-but-open-breaker ones, then
+// the ejected tail. The tail is kept so a request can still be
+// attempted when every backend looks bad (the cluster may be healthier
+// than the gateway's last look).
 func (g *Gateway) route(key string) []*backend {
 	seq := g.ring.sequence(key)
 	ordered := make([]*backend, 0, len(seq))
 	for _, i := range seq {
-		if g.backends[i].healthy.Load() {
-			ordered = append(ordered, g.backends[i])
+		b := g.backends[i]
+		if b.healthy.Load() && b.breaker.Ready() {
+			ordered = append(ordered, b)
+		}
+	}
+	for _, i := range seq {
+		b := g.backends[i]
+		if b.healthy.Load() && !b.breaker.Ready() {
+			ordered = append(ordered, b)
 		}
 	}
 	for _, i := range seq {
@@ -208,6 +283,14 @@ func (g *Gateway) gwError(w http.ResponseWriter, started time.Time, code int, ms
 // maxBodyBytes mirrors the backend's /v1/simulate body cap.
 const maxBodyBytes = 1 << 20
 
+// errBudgetExhausted distinguishes fail-fast budget refusals from
+// ordinary backend unreachability.
+var errBudgetExhausted = errors.New("retry budget exhausted")
+
+// errDigestMismatch marks a transport-valid response whose bytes
+// failed integrity verification.
+var errDigestMismatch = errors.New("response digest mismatch")
+
 func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	if r.Method != http.MethodPost {
@@ -226,18 +309,29 @@ func (g *Gateway) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		g.gwError(w, started, http.StatusBadRequest, err.Error())
 		return
 	}
-
-	resp, b, err := g.forward(r, g.route(key), "/v1/simulate", body)
+	deadline, err := server.ParseDeadline(r.Header)
 	if err != nil {
+		g.gwError(w, started, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	resp, b, err := g.forward(r, g.route(key), proxyCall{
+		path: "/v1/simulate", body: body, deadline: deadline,
+	})
+	if err != nil {
+		if errors.Is(err, errBudgetExhausted) {
+			w.Header().Set("X-Retry-Budget", "exhausted")
+			g.gwError(w, started, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		g.gwError(w, started, http.StatusBadGateway, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
-	if v := resp.Header.Get("X-Cache"); v != "" {
-		w.Header().Set("X-Cache", v)
-	}
-	if v := resp.Header.Get("Retry-After"); v != "" {
-		w.Header().Set("Retry-After", v)
+	for _, h := range []string{"X-Cache", "Retry-After", digest.Header} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
 	}
 	w.Header().Set("X-Backend", resp.Request.URL.Host)
 	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
@@ -260,66 +354,269 @@ func requestKey(body []byte) (string, error) {
 	return server.CanonicalKey(req)
 }
 
-// forward proxies body to the preferred backend, handling the two
-// recoverable failure classes:
-//
-//   - 429: the shard owner is saturated. Honor its Retry-After (capped)
-//     and retry the same backend up to Retry429 times — moving the
-//     request to another shard would compute a cell whose cache line
-//     lives elsewhere, so waiting is the cache-preserving choice. Budget
-//     exhausted, the 429 propagates to the client.
-//   - connection error: eject the backend and fail over to the next
-//     ring node, once. A second connection error surfaces as 502.
-//
-// The returned response's body is fully read and closed.
-func (g *Gateway) forward(r *http.Request, route []*backend, path string, body []byte) (*http.Response, []byte, error) {
+// proxyCall is one client request as the proxy layer sees it.
+type proxyCall struct {
+	path string
+	body []byte
+	// deadline is the client-supplied absolute deadline (zero = none);
+	// attempts stamp min(deadline, attempt timeout) downstream.
+	deadline time.Time
+}
+
+// attemptResult is one backend attempt's outcome.
+type attemptResult struct {
+	resp  *http.Response
+	body  []byte
+	err   error
+	b     *backend
+	hedge bool
+}
+
+// usable reports whether the attempt produced a response the client
+// should see (success, client error, deadline pass-through, or a 429
+// that survived its retries) rather than one worth retrying elsewhere.
+func (a attemptResult) usable() bool {
+	return a.err == nil && !retryableStatus(a.resp.StatusCode)
+}
+
+// retryableStatus marks backend responses that another backend might
+// answer better: internal errors and (possibly injected) gateway-class
+// 5xx. 504 passes through — the deadline is the client's, and a retry
+// would bust it anyway.
+func retryableStatus(code int) bool {
+	return code == http.StatusInternalServerError ||
+		code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable
+}
+
+// isDialError reports whether err is a failure to even open a
+// connection — the hard evidence of a dead process that justifies
+// immediate ejection, as opposed to mid-stream failures that feed the
+// breaker.
+func isDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// forward proxies one call to the preferred backend with the full
+// resilience ladder: per-attempt timeout and integrity verification,
+// circuit-breaker admission, a p99-delay hedge to the next ring node,
+// and budget-gated failover. The first usable response wins; its body
+// is fully read and closed. Hedge losers are canceled, and if a loser
+// completes anyway its bytes are cross-checked against the winner.
+func (g *Gateway) forward(r *http.Request, route []*backend, call proxyCall) (*http.Response, []byte, error) {
 	if len(route) == 0 {
 		return nil, nil, fmt.Errorf("no backends")
 	}
-	var lastErr error
-	// Owner plus exactly one failover target.
-	for hop, b := range route {
-		if hop > 1 {
-			break
+	g.budget.OnRequest(1)
+	ctx := r.Context()
+
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
 		}
-		retries := g.cfg.Retry429
-		for {
-			resp, rb, err := g.roundTrip(r, b, path, body)
-			if err != nil {
-				if r.Context().Err() != nil {
-					// The client went away, not the backend; don't
-					// eject on its account.
-					return nil, nil, err
+	}()
+	resc := make(chan attemptResult, len(route)+1)
+	outstanding := 0
+	hedged := false
+
+	launch := func(b *backend, hedge bool) {
+		actx := ctx
+		if at := g.cfg.AttemptTimeout; at > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, at)
+			cancels = append(cancels, cancel)
+		}
+		outstanding++
+		go func() {
+			resp, rb, err := g.attempt(actx, ctx, b, call)
+			resc <- attemptResult{resp: resp, body: rb, err: err, b: b, hedge: hedge}
+		}()
+	}
+	// pick hands out untried candidates in route order, consuming the
+	// breaker's permission for each.
+	next := 0
+	pick := func() *backend {
+		for next < len(route) {
+			b := route[next]
+			next++
+			if b.breaker.Allow() {
+				return b
+			}
+		}
+		return nil
+	}
+	primary := pick()
+	if primary == nil {
+		// Every breaker refused: attempt the ring owner anyway rather
+		// than failing a request no backend was even offered.
+		primary = route[0]
+		next = 1
+	}
+	launch(primary, false)
+
+	var hedgec <-chan time.Time
+	if d := g.hedgeDelay(); d > 0 && len(route) > 1 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgec = t.C
+	}
+
+	var last attemptResult
+	for outstanding > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		case <-hedgec:
+			hedgec = nil
+			if b := pick(); b != nil && g.budget.TryRetry(1) {
+				hedged = true
+				g.metrics.hedgesLaunched.Add(1)
+				launch(b, true)
+			}
+		case res := <-resc:
+			outstanding--
+			if res.usable() {
+				if hedged {
+					if res.hedge {
+						g.metrics.hedgeWins.Add(1)
+					} else {
+						g.metrics.hedgePrimaryWins.Add(1)
+					}
 				}
-				// Connection-level failure: eject and fail over.
-				b.healthy.Store(false)
-				b.failovers.Add(1)
-				g.metrics.failovers.Add(1)
-				lastErr = err
+				if outstanding > 0 {
+					g.reapLosers(resc, outstanding, res)
+				}
+				return res.resp, res.body, nil
+			}
+			last = res
+			if outstanding > 0 {
+				continue // the other in-flight attempt may still win
+			}
+			b := pick()
+			if b == nil {
 				break
 			}
-			if resp.StatusCode == http.StatusTooManyRequests {
-				b.shed.Add(1)
-				if retries > 0 {
-					retries--
-					g.metrics.retries.Add(1)
-					g.sleep.Sleep(g.retryAfter(resp))
-					continue
-				}
+			if !g.budget.TryRetry(1) {
+				return nil, nil, fmt.Errorf("%w (last backend error: %v)", errBudgetExhausted, lastErrOf(last))
 			}
-			return resp, rb, nil
+			res.b.failovers.Add(1)
+			g.metrics.failovers.Add(1)
+			launch(b, false)
 		}
 	}
-	return nil, nil, fmt.Errorf("backend unreachable: %v", lastErr)
+	// No usable response and no candidates left. A definitive HTTP
+	// response (a retryable 5xx every hop agreed on) passes through;
+	// transport-level death surfaces as 502.
+	if last.err == nil && last.resp != nil {
+		return last.resp, last.body, nil
+	}
+	return nil, nil, fmt.Errorf("backend unreachable: %v", last.err)
 }
 
-// roundTrip performs one proxied POST, reading the whole response.
-func (g *Gateway) roundTrip(r *http.Request, b *backend, path string, body []byte) (*http.Response, []byte, error) {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.addr+path, bytes.NewReader(body))
+// lastErrOf renders the failure reason of an unusable attempt.
+func lastErrOf(a attemptResult) string {
+	if a.err != nil {
+		return a.err.Error()
+	}
+	if a.resp != nil {
+		return fmt.Sprintf("backend status %d", a.resp.StatusCode)
+	}
+	return "no attempt completed"
+}
+
+// reapLosers drains the canceled hedge/failover losers in the
+// background. If a loser completed with a success anyway, its bytes
+// are cross-checked against the winner — byte-identity between hedge
+// and original is an invariant (the backends replay cached bodies
+// byte-identically), so a divergence means corruption slipped past a
+// digest or a backend broke the determinism contract.
+func (g *Gateway) reapLosers(resc <-chan attemptResult, n int, winner attemptResult) {
+	go func() {
+		for i := 0; i < n; i++ {
+			res := <-resc
+			if res.err != nil || res.resp.StatusCode != http.StatusOK {
+				continue
+			}
+			if winner.resp.StatusCode == http.StatusOK && !bytes.Equal(res.body, winner.body) {
+				g.metrics.hedgeMismatches.Add(1)
+			}
+		}
+	}()
+}
+
+// attempt runs one backend attempt to completion: the round trip, the
+// same-shard 429 retry loop, integrity verification, and breaker and
+// latency accounting. parent is the client's context — when it is the
+// reason everything is failing, the backend is not blamed.
+func (g *Gateway) attempt(ctx, parent context.Context, b *backend, call proxyCall) (*http.Response, []byte, error) {
+	retries := g.cfg.Retry429
+	for {
+		started := time.Now()
+		resp, rb, err := g.roundTrip(ctx, b, call)
+		if err != nil {
+			if parent.Err() != nil {
+				// The client went away, not the backend; don't charge
+				// the breaker on its account.
+				return nil, nil, err
+			}
+			b.breaker.OnFailure()
+			if isDialError(err) {
+				// Nothing is listening: eject now, the prober will
+				// re-admit it.
+				b.healthy.Store(false)
+			}
+			return nil, nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			b.shed.Add(1)
+			if retries > 0 && g.budget.TryRetry(1) {
+				retries--
+				g.metrics.retries.Add(1)
+				g.sleep.Sleep(g.retryAfter(resp))
+				continue
+			}
+			// Reachable, just saturated: not a breaker failure.
+			b.breaker.OnSuccess()
+			return resp, rb, nil
+		}
+		if resp.StatusCode == http.StatusOK {
+			if !digest.Verify(resp.Header.Get(digest.Header), rb) {
+				g.metrics.digestMismatches.Add(1)
+				b.breaker.OnFailure()
+				return nil, nil, fmt.Errorf("%s: %w", b.addr, errDigestMismatch)
+			}
+			g.tracker.record(time.Since(started))
+		}
+		if retryableStatus(resp.StatusCode) {
+			b.breaker.OnFailure()
+		} else {
+			b.breaker.OnSuccess()
+		}
+		return resp, rb, nil
+	}
+}
+
+// roundTrip performs one proxied POST, reading the whole response. The
+// downstream deadline header is min(client deadline, attempt timeout)
+// so backends can shed work whose requester has already given up.
+func (g *Gateway) roundTrip(ctx context.Context, b *backend, call proxyCall) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+call.path, bytes.NewReader(call.body))
 	if err != nil {
 		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Disable net/http's transparent replay of requests that die on
+	// reused connections: every retry must flow through the budget.
+	req.GetBody = nil
+	dl := call.deadline
+	if cd, ok := ctx.Deadline(); ok && (dl.IsZero() || cd.Before(dl)) {
+		dl = cd
+	}
+	if !dl.IsZero() {
+		req.Header.Set(server.DeadlineHeader, strconv.FormatInt(dl.UnixMilli(), 10))
+	}
 	b.inflight.Add(1)
 	resp, err := g.client.Do(req)
 	if err != nil {
@@ -348,45 +645,6 @@ func (g *Gateway) retryAfter(resp *http.Response) time.Duration {
 	return d
 }
 
-// probeLoop drives periodic health probes until Close.
-func (g *Gateway) probeLoop(interval time.Duration) {
-	defer g.wg.Done()
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-g.stop:
-			return
-		case <-t.C:
-			g.ProbeOnce()
-		}
-	}
-}
-
-// ProbeOnce probes every backend's /healthz once, ejecting after
-// ProbeFailures consecutive failures and re-admitting on the first
-// success. Exported so tests (and operators' debug handlers) can force
-// a round without waiting out the interval.
-func (g *Gateway) ProbeOnce() {
-	for _, b := range g.backends {
-		resp, err := g.probec.Get(b.addr + "/healthz")
-		ok := err == nil && resp.StatusCode == http.StatusOK
-		if resp != nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}
-		if ok {
-			b.probeFails = 0
-			b.healthy.Store(true)
-			continue
-		}
-		b.probeFails++
-		if b.probeFails >= g.cfg.ProbeFailures {
-			b.healthy.Store(false)
-		}
-	}
-}
-
 // Healthy reports how many backends are currently admitted.
 func (g *Gateway) Healthy() int {
 	n := 0
@@ -407,6 +665,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type backendHealth struct {
 		Addr      string `json:"addr"`
 		Healthy   bool   `json:"healthy"`
+		Breaker   string `json:"breaker"`
 		Inflight  int64  `json:"inflight"`
 		Shed      uint64 `json:"shed"`
 		Failovers uint64 `json:"failovers"`
@@ -419,6 +678,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		out.Backends = append(out.Backends, backendHealth{
 			Addr:      b.addr,
 			Healthy:   b.healthy.Load(),
+			Breaker:   breakerStateName(b.breaker.State()),
 			Inflight:  b.inflight.Load(),
 			Shed:      b.shed.Load(),
 			Failovers: b.failovers.Load(),
@@ -434,6 +694,17 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// breakerStateName renders a breaker state for humans.
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -441,5 +712,5 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	g.metrics.write(w, g.backends)
+	g.metrics.write(w, g.backends, g.budget)
 }

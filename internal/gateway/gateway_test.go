@@ -30,9 +30,14 @@ type cluster struct {
 
 func newCluster(t *testing.T, n int, cfg Config) *cluster {
 	t.Helper()
+	return newClusterWithServerConfig(t, n, cfg, server.Config{Workers: 2})
+}
+
+func newClusterWithServerConfig(t *testing.T, n int, cfg Config, scfg server.Config) *cluster {
+	t.Helper()
 	c := &cluster{}
 	for i := 0; i < n; i++ {
-		s := server.New(server.Config{Workers: 2})
+		s := server.New(scfg)
 		ts := httptest.NewServer(s)
 		c.servers = append(c.servers, s)
 		c.backends = append(c.backends, ts)
@@ -296,9 +301,9 @@ func TestRetryAfter429(t *testing.T) {
 	}
 }
 
-// TestRetryBudgetExhausted: a persistently saturated shard's 429
+// TestRetry429Exhausted: a persistently saturated shard's 429
 // propagates to the client, Retry-After intact, without failover.
-func TestRetryBudgetExhausted(t *testing.T) {
+func TestRetry429Exhausted(t *testing.T) {
 	var calls atomic.Int64
 	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		calls.Add(1)

@@ -1,0 +1,88 @@
+package gateway
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hedging support: the gateway hedges a straggling attempt by sending
+// a second copy to the next ring node once the original has been
+// outstanding longer than the observed p99 — the classic tail-at-scale
+// move. The tracker below supplies that p99 from a ring of recent
+// successful-attempt latencies; the hedge delay is max(configured
+// floor, tracked p99) so hedges target genuine stragglers, not the
+// fat part of the distribution.
+
+// trackerSize is how many recent latencies the p99 is computed over.
+const trackerSize = 512
+
+// trackerRefresh is how many new samples may accumulate before the
+// cached p99 is recomputed (sorting 512 samples per request would be
+// waste; per 32 is noise-free enough for a hedge trigger).
+const trackerRefresh = 32
+
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [trackerSize]time.Duration
+	n       int // resident count
+	idx     int
+	stale   int // samples since last p99 computation
+	cached  time.Duration
+}
+
+// record adds one successful attempt latency.
+func (t *latencyTracker) record(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.idx] = d
+	t.idx = (t.idx + 1) % trackerSize
+	if t.n < trackerSize {
+		t.n++
+	}
+	t.stale++
+	t.mu.Unlock()
+}
+
+// p99 returns the nearest-rank 99th percentile of the resident
+// samples (0 when empty).
+func (t *latencyTracker) p99() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == 0 {
+		return 0
+	}
+	if t.stale < trackerRefresh && t.cached > 0 {
+		return t.cached
+	}
+	sorted := make([]time.Duration, t.n)
+	copy(sorted, t.samples[:t.n])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (99*t.n + 99) / 100 // nearest-rank: ceil(0.99 n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > t.n {
+		rank = t.n
+	}
+	t.cached = sorted[rank-1]
+	t.stale = 0
+	return t.cached
+}
+
+// hedgeDelay is how long an attempt may stay outstanding before a
+// hedge is launched: the observed p99, floored by HedgeDelayMin so an
+// all-cache-hit workload (p99 ≈ 100µs) doesn't hedge every miss.
+// Returns 0 when hedging is disabled.
+func (g *Gateway) hedgeDelay() time.Duration {
+	min := g.cfg.HedgeDelayMin
+	if min < 0 {
+		return 0
+	}
+	if min == 0 {
+		min = 250 * time.Millisecond
+	}
+	if p := g.tracker.p99(); p > min {
+		return p
+	}
+	return min
+}

@@ -1,0 +1,118 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLatencyTrackerP99(t *testing.T) {
+	tr := &latencyTracker{}
+	if tr.p99() != 0 {
+		t.Fatal("empty tracker p99 != 0")
+	}
+	for i := 1; i <= 100; i++ {
+		tr.record(time.Duration(i) * time.Millisecond)
+	}
+	// Nearest-rank p99 of 1..100ms is the 99th value.
+	if got := tr.p99(); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", got)
+	}
+	// The ring keeps only the newest trackerSize samples.
+	for i := 0; i < trackerSize; i++ {
+		tr.record(time.Second)
+	}
+	if got := tr.p99(); got != time.Second {
+		t.Fatalf("p99 after ring turnover = %v, want 1s", got)
+	}
+}
+
+func TestHedgeDelayFloorAndDisable(t *testing.T) {
+	g := &Gateway{cfg: Config{HedgeDelayMin: 100 * time.Millisecond}, tracker: &latencyTracker{}}
+	if got := g.hedgeDelay(); got != 100*time.Millisecond {
+		t.Fatalf("empty-tracker hedge delay = %v, want the floor", got)
+	}
+	for i := 0; i < trackerSize; i++ {
+		g.tracker.record(300 * time.Millisecond)
+	}
+	if got := g.hedgeDelay(); got != 300*time.Millisecond {
+		t.Fatalf("hedge delay = %v, want tracked p99 300ms", got)
+	}
+	g.cfg.HedgeDelayMin = -1
+	if got := g.hedgeDelay(); got != 0 {
+		t.Fatalf("disabled hedge delay = %v, want 0", got)
+	}
+}
+
+// TestHedgedRequestWins: when the shard owner stalls, the hedge to the
+// next ring node answers and the client never notices the straggler.
+func TestHedgedRequestWins(t *testing.T) {
+	const body = `{"ok":true}` + "\n"
+	var stall [2]atomic.Bool
+	mk := func(i int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if stall[i].Load() {
+				// A straggler: hold until the gateway gives up on us.
+				select {
+				case <-r.Context().Done():
+				case <-time.After(5 * time.Second):
+				}
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(body))
+		}))
+	}
+	b0, b1 := mk(0), mk(1)
+	defer b0.Close()
+	defer b1.Close()
+	gw, err := New(Config{
+		Backends:      []string{b0.URL, b1.URL},
+		ProbeInterval: -1,
+		HedgeDelayMin: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	ts := httptest.NewServer(gw)
+	defer ts.Close()
+
+	// Learn which backend owns this cell while both are fast.
+	resp, _ := post(t, ts.URL, "/v1/simulate", cellBody(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status %d", resp.StatusCode)
+	}
+	owner := 0
+	if resp.Header.Get("X-Backend") == strings.TrimPrefix(b1.URL, "http://") {
+		owner = 1
+	}
+
+	stall[owner].Store(true)
+	start := time.Now()
+	resp, b := post(t, ts.URL, "/v1/simulate", cellBody(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged request: %d %s", resp.StatusCode, b)
+	}
+	if string(b) != body {
+		t.Fatalf("hedged body = %q", b)
+	}
+	if got := resp.Header.Get("X-Backend"); got == strings.TrimPrefix([]*httptest.Server{b0, b1}[owner].URL, "http://") {
+		t.Error("response attributed to the stalled owner")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Errorf("hedged request took %v — hedge did not fire", took)
+	}
+	if gw.metrics.hedgesLaunched.Load() == 0 {
+		t.Error("no hedge launched")
+	}
+	if gw.metrics.hedgeWins.Load() == 0 {
+		t.Error("hedge win not counted")
+	}
+	if gw.metrics.hedgeMismatches.Load() != 0 {
+		t.Errorf("hedge mismatches = %d, want 0", gw.metrics.hedgeMismatches.Load())
+	}
+}

@@ -22,6 +22,18 @@ type gwMetrics struct {
 	failovers  atomic.Uint64
 	retries    atomic.Uint64
 	sweepCells atomic.Uint64
+
+	// Hedging: hedges launched, which side won a hedged race, and how
+	// often a completed hedge loser's bytes diverged from the winner's
+	// (should stay 0 — backends replay cached bodies byte-identically).
+	hedgesLaunched   atomic.Uint64
+	hedgeWins        atomic.Uint64
+	hedgePrimaryWins atomic.Uint64
+	hedgeMismatches  atomic.Uint64
+
+	// digestMismatches counts backend responses whose body failed
+	// X-Content-Digest verification and were retried instead of served.
+	digestMismatches atomic.Uint64
 }
 
 func newGWMetrics() *gwMetrics {
@@ -36,8 +48,8 @@ func (m *gwMetrics) observe(code int) {
 }
 
 // write renders the exposition: request counters plus live per-backend
-// gauges.
-func (m *gwMetrics) write(w io.Writer, backends []*backend) {
+// gauges, breaker states and the retry-budget ledger.
+func (m *gwMetrics) write(w io.Writer, backends []*backend, budget *retryBudget) {
 	m.mu.Lock()
 	codes := make([]int, 0, len(m.codes))
 	for c := range m.codes {
@@ -56,7 +68,7 @@ func (m *gwMetrics) write(w io.Writer, backends []*backend) {
 		fmt.Fprintf(w, "smpgw_requests_total{code=\"%d\"} %d\n", c, codeVals[i])
 	}
 
-	fmt.Fprintln(w, "# HELP smpgw_failovers_total Requests failed over to the next ring node after a connection error.")
+	fmt.Fprintln(w, "# HELP smpgw_failovers_total Requests failed over to the next ring node after a backend failure.")
 	fmt.Fprintln(w, "# TYPE smpgw_failovers_total counter")
 	fmt.Fprintf(w, "smpgw_failovers_total %d\n", m.failovers.Load())
 
@@ -68,6 +80,27 @@ func (m *gwMetrics) write(w io.Writer, backends []*backend) {
 	fmt.Fprintln(w, "# TYPE smpgw_sweep_cells_total counter")
 	fmt.Fprintf(w, "smpgw_sweep_cells_total %d\n", m.sweepCells.Load())
 
+	fmt.Fprintln(w, "# HELP smpgw_retry_budget_requests_total Client-facing work units credited to the retry budget.")
+	fmt.Fprintln(w, "# TYPE smpgw_retry_budget_requests_total counter")
+	fmt.Fprintf(w, "smpgw_retry_budget_requests_total %d\n", budget.requestsTotal.Load())
+	fmt.Fprintln(w, "# HELP smpgw_retry_budget_retries_total Extra backend attempts (failover, 429 retry, hedge) granted by the retry budget.")
+	fmt.Fprintln(w, "# TYPE smpgw_retry_budget_retries_total counter")
+	fmt.Fprintf(w, "smpgw_retry_budget_retries_total %d\n", budget.retriesTotal.Load())
+	fmt.Fprintln(w, "# HELP smpgw_retry_budget_exhausted_total Retry attempts refused because the budget was spent.")
+	fmt.Fprintln(w, "# TYPE smpgw_retry_budget_exhausted_total counter")
+	fmt.Fprintf(w, "smpgw_retry_budget_exhausted_total %d\n", budget.exhaustedTotal.Load())
+
+	fmt.Fprintln(w, "# HELP smpgw_hedges_total Hedged-request events by outcome.")
+	fmt.Fprintln(w, "# TYPE smpgw_hedges_total counter")
+	fmt.Fprintf(w, "smpgw_hedges_total{outcome=\"launched\"} %d\n", m.hedgesLaunched.Load())
+	fmt.Fprintf(w, "smpgw_hedges_total{outcome=\"hedge_win\"} %d\n", m.hedgeWins.Load())
+	fmt.Fprintf(w, "smpgw_hedges_total{outcome=\"primary_win\"} %d\n", m.hedgePrimaryWins.Load())
+	fmt.Fprintf(w, "smpgw_hedges_total{outcome=\"mismatch\"} %d\n", m.hedgeMismatches.Load())
+
+	fmt.Fprintln(w, "# HELP smpgw_digest_mismatch_total Backend responses rejected for failing X-Content-Digest verification.")
+	fmt.Fprintln(w, "# TYPE smpgw_digest_mismatch_total counter")
+	fmt.Fprintf(w, "smpgw_digest_mismatch_total %d\n", m.digestMismatches.Load())
+
 	fmt.Fprintln(w, "# HELP smpgw_backend_healthy Backend admitted for routing (1) or ejected (0).")
 	fmt.Fprintln(w, "# TYPE smpgw_backend_healthy gauge")
 	for _, b := range backends {
@@ -76,6 +109,18 @@ func (m *gwMetrics) write(w io.Writer, backends []*backend) {
 			h = 1
 		}
 		fmt.Fprintf(w, "smpgw_backend_healthy{backend=%q} %d\n", b.addr, h)
+	}
+	fmt.Fprintln(w, "# HELP smpgw_breaker_state Circuit-breaker state per backend (0 closed, 1 half-open, 2 open).")
+	fmt.Fprintln(w, "# TYPE smpgw_breaker_state gauge")
+	for _, b := range backends {
+		fmt.Fprintf(w, "smpgw_breaker_state{backend=%q} %d\n", b.addr, b.breaker.State())
+	}
+	fmt.Fprintln(w, "# HELP smpgw_breaker_transitions_total Circuit-breaker transitions per backend, by destination state.")
+	fmt.Fprintln(w, "# TYPE smpgw_breaker_transitions_total counter")
+	for _, b := range backends {
+		opened, reclosed := b.breaker.Transitions()
+		fmt.Fprintf(w, "smpgw_breaker_transitions_total{backend=%q,to=\"open\"} %d\n", b.addr, opened)
+		fmt.Fprintf(w, "smpgw_breaker_transitions_total{backend=%q,to=\"closed\"} %d\n", b.addr, reclosed)
 	}
 	fmt.Fprintln(w, "# HELP smpgw_backend_inflight Proxied requests currently outstanding against the backend.")
 	fmt.Fprintln(w, "# TYPE smpgw_backend_inflight gauge")
@@ -87,7 +132,7 @@ func (m *gwMetrics) write(w io.Writer, backends []*backend) {
 	for _, b := range backends {
 		fmt.Fprintf(w, "smpgw_backend_shed_total{backend=%q} %d\n", b.addr, b.shed.Load())
 	}
-	fmt.Fprintln(w, "# HELP smpgw_backend_failovers_total Requests moved off the backend after connection errors.")
+	fmt.Fprintln(w, "# HELP smpgw_backend_failovers_total Requests moved off the backend after failures.")
 	fmt.Fprintln(w, "# TYPE smpgw_backend_failovers_total counter")
 	for _, b := range backends {
 		fmt.Fprintf(w, "smpgw_backend_failovers_total{backend=%q} %d\n", b.addr, b.failovers.Load())

@@ -1,0 +1,95 @@
+package gateway
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// Health probing. Two herd-control measures on top of PR 5's
+// fixed-interval prober:
+//
+//   - Jitter: each gateway draws its next probe delay uniformly from
+//     [0.5, 1.5) × interval, so a fleet of gateways (re)started
+//     together does not hammer every backend's /healthz on the same
+//     beat forever.
+//   - Ejected-backend backoff: a backend that keeps failing probes is
+//     re-probed exponentially less often (skip 1, 2, 4 … maxProbeSkip
+//     rounds), so a long-dead backend costs one probe per ~16 rounds
+//     instead of one per round, while a freshly ejected one is still
+//     re-checked promptly.
+
+// maxProbeSkip caps the re-probe backoff (in probe rounds).
+const maxProbeSkip = 16
+
+// probeJitter maps one uniform draw u ∈ [0, 1) to a jittered probe
+// delay in [0.5, 1.5) × interval.
+func probeJitter(interval time.Duration, u float64) time.Duration {
+	return time.Duration(float64(interval) * (0.5 + u))
+}
+
+// reprobeSkip returns how many probe rounds to skip before re-probing
+// a backend that has failed failsBeyondEject consecutive probes past
+// the ejection threshold: 0, 1, 2, 4, 8, 16, 16, …
+func reprobeSkip(failsBeyondEject int) int {
+	if failsBeyondEject <= 0 {
+		return 0
+	}
+	if failsBeyondEject > 5 { // 1<<4 == maxProbeSkip
+		return maxProbeSkip
+	}
+	s := 1 << (failsBeyondEject - 1)
+	if s > maxProbeSkip {
+		s = maxProbeSkip
+	}
+	return s
+}
+
+// probeLoop drives jittered probe rounds until Close.
+func (g *Gateway) probeLoop(interval time.Duration) {
+	defer g.wg.Done()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	t := time.NewTimer(probeJitter(interval, rng.Float64()))
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.ProbeOnce()
+			t.Reset(probeJitter(interval, rng.Float64()))
+		}
+	}
+}
+
+// ProbeOnce runs one probe round: every due backend's /healthz is
+// checked, ejecting after ProbeFailures consecutive failures and
+// re-admitting on the first success. Backends deep in failure are
+// skipped per reprobeSkip. Exported so tests (and operators' debug
+// handlers) can force a round without waiting out the interval.
+func (g *Gateway) ProbeOnce() {
+	for _, b := range g.backends {
+		if b.probeSkip > 0 {
+			b.probeSkip--
+			continue
+		}
+		resp, err := g.probec.Get(b.addr + "/healthz")
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if ok {
+			b.probeFails = 0
+			b.probeSkip = 0
+			b.healthy.Store(true)
+			continue
+		}
+		b.probeFails++
+		if b.probeFails >= g.cfg.ProbeFailures {
+			b.healthy.Store(false)
+			b.probeSkip = reprobeSkip(b.probeFails - g.cfg.ProbeFailures)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProbeJitterRange: jitter maps the unit interval onto
+// [0.5, 1.5) × interval, table-driven over the draw.
+func TestProbeJitterRange(t *testing.T) {
+	const interval = 2 * time.Second
+	cases := []struct {
+		u    float64
+		want time.Duration
+	}{
+		{0, time.Second},
+		{0.25, 1500 * time.Millisecond},
+		{0.5, 2 * time.Second},
+		{0.75, 2500 * time.Millisecond},
+		{0.999, 2998 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := probeJitter(interval, tc.u); got != tc.want {
+			t.Errorf("probeJitter(2s, %v) = %v, want %v", tc.u, got, tc.want)
+		}
+	}
+}
+
+// TestReprobeSkip: the ejected-backend re-probe backoff is exponential
+// and capped.
+func TestReprobeSkip(t *testing.T) {
+	cases := []struct {
+		fails, want int
+	}{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 4}, {4, 8},
+		{5, 16}, {6, 16}, {50, 16},
+	}
+	for _, tc := range cases {
+		if got := reprobeSkip(tc.fails); got != tc.want {
+			t.Errorf("reprobeSkip(%d) = %d, want %d", tc.fails, got, tc.want)
+		}
+	}
+}
+
+// TestProbeBackoffThundering: a backend that stays dead is probed
+// exponentially less often — the old prober hit it every round, so a
+// long outage cost one wasted probe per round per gateway (the herd).
+func TestProbeBackoffThundering(t *testing.T) {
+	var probes atomic.Int64
+	var down atomic.Bool
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+		if down.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer fake.Close()
+	gw, err := New(Config{Backends: []string{fake.URL}, ProbeInterval: -1, ProbeFailures: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	down.Store(true)
+	// Rounds 1,2 probe and eject (fails 1, 2 → skip 0). Then the
+	// backoff ladder: round 3 probes (fails 3 → skip 1), round 4
+	// skipped, round 5 probes (fails 4 → skip 2), rounds 6-7 skipped,
+	// round 8 probes. 16 rounds: probes at 1,2,3,5,8,13 = 6 probes.
+	for i := 0; i < 16; i++ {
+		gw.ProbeOnce()
+	}
+	if got := probes.Load(); got != 6 {
+		t.Errorf("dead backend probed %d times in 16 rounds, want 6 (backoff)", got)
+	}
+	if gw.Healthy() != 0 {
+		t.Fatal("dead backend not ejected")
+	}
+
+	// Recovery: the next non-skipped probe re-admits it and resets the
+	// backoff so a later ejection is re-checked promptly again.
+	down.Store(false)
+	for i := 0; i < maxProbeSkip+1; i++ {
+		gw.ProbeOnce()
+		if gw.Healthy() == 1 {
+			break
+		}
+	}
+	if gw.Healthy() != 1 {
+		t.Fatal("recovered backend never re-admitted within a full backoff period")
+	}
+	b := gw.backends[0]
+	if b.probeFails != 0 || b.probeSkip != 0 {
+		t.Errorf("recovery left probeFails=%d probeSkip=%d, want 0/0", b.probeFails, b.probeSkip)
+	}
+}

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Deadline propagation: a client (usually smpgw) that has its own
+// deadline stamps it on the request as an absolute wall-clock time, and
+// the backend sheds work whose requester has provably already given up
+// — at admission, before the cell ever enters the pool, and again at
+// dequeue, so a cell that aged out waiting in the queue does not burn a
+// worker computing a result nobody will read. Absolute milliseconds
+// (not a relative budget) so the header survives any number of proxy
+// hops without each hop re-subtracting its own latency; the serving
+// tier assumes loosely synchronized clocks, which holds within a
+// cluster.
+
+// DeadlineHeader carries the absolute request deadline as Unix
+// milliseconds.
+const DeadlineHeader = "X-Deadline-Ms"
+
+// errDeadlineShed marks a cell dropped at dequeue because its deadline
+// had already passed.
+var errDeadlineShed = errors.New("deadline expired before execution")
+
+// ParseDeadline extracts the propagated deadline from h (zero time =
+// no deadline set).
+func ParseDeadline(h http.Header) (time.Time, error) {
+	v := h.Get(DeadlineHeader)
+	if v == "" {
+		return time.Time{}, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}, fmt.Errorf("bad %s header %q", DeadlineHeader, v)
+	}
+	return time.UnixMilli(ms), nil
+}

@@ -34,14 +34,20 @@ type metrics struct {
 	// sweepCells counts per-cell sweep outcomes by label: "hit",
 	// "miss", "error".
 	sweepCells map[string]uint64
+
+	// deadlineShed counts work dropped because the propagated
+	// X-Deadline-Ms had already passed, by stage: "admission" (refused
+	// before entering the pool) or "dequeue" (aged out in the queue).
+	deadlineShed map[string]uint64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		codes:      make(map[int]uint64),
-		counts:     make([]uint64, len(latencyBuckets)+1), // +1 for +Inf
-		started:    time.Now(),
-		sweepCells: make(map[string]uint64),
+		codes:        make(map[int]uint64),
+		counts:       make([]uint64, len(latencyBuckets)+1), // +1 for +Inf
+		started:      time.Now(),
+		sweepCells:   make(map[string]uint64),
+		deadlineShed: make(map[string]uint64),
 	}
 }
 
@@ -66,6 +72,14 @@ func (m *metrics) observe(code int, d time.Duration) {
 func (m *metrics) observeLateCached() {
 	m.mu.Lock()
 	m.lateCached++
+	m.mu.Unlock()
+}
+
+// observeDeadlineShed records one request or cell dropped on an
+// expired propagated deadline.
+func (m *metrics) observeDeadlineShed(stage string) {
+	m.mu.Lock()
+	m.deadlineShed[stage]++
 	m.mu.Unlock()
 }
 
@@ -100,6 +114,15 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 	sweepVals := make([]uint64, len(sweepOutcomes))
 	for i, o := range sweepOutcomes {
 		sweepVals[i] = m.sweepCells[o]
+	}
+	shedStages := make([]string, 0, len(m.deadlineShed))
+	for st := range m.deadlineShed {
+		shedStages = append(shedStages, st)
+	}
+	sort.Strings(shedStages)
+	shedVals := make([]uint64, len(shedStages))
+	for i, st := range shedStages {
+		shedVals[i] = m.deadlineShed[st]
 	}
 	codeVals := make([]uint64, len(codes))
 	for i, c := range codes {
@@ -158,6 +181,12 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 	fmt.Fprintln(w, "# TYPE smpsimd_sweep_cells_total counter")
 	for i, o := range sweepOutcomes {
 		fmt.Fprintf(w, "smpsimd_sweep_cells_total{outcome=%q} %d\n", o, sweepVals[i])
+	}
+
+	fmt.Fprintln(w, "# HELP smpsimd_deadline_shed_total Work dropped on an expired propagated deadline, by stage.")
+	fmt.Fprintln(w, "# TYPE smpsimd_deadline_shed_total counter")
+	for i, st := range shedStages {
+		fmt.Fprintf(w, "smpsimd_deadline_shed_total{stage=%q} %d\n", st, shedVals[i])
 	}
 
 	tlSum, tlWindows, tlDropped, tlSubs := srv.feed.snapshot()

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"time"
 
+	"busaware/internal/digest"
 	"busaware/internal/runner"
 	"busaware/internal/sim"
 	"busaware/internal/trace"
@@ -158,6 +159,20 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.error(w, started, http.StatusBadRequest, err.Error())
 		return
 	}
+	deadline, err := ParseDeadline(r.Header)
+	if err != nil {
+		s.error(w, started, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Admission-time deadline shed: if the propagated deadline has
+	// already passed, the requester provably gave up — don't spend a
+	// cache lookup or a pool slot writing to nobody.
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		s.metrics.observeDeadlineShed("admission")
+		s.error(w, started, http.StatusGatewayTimeout, "deadline already expired")
+		return
+	}
 
 	// Exact-key cache: a hit replays the byte-identical body computed
 	// for the first occurrence of this canonical request.
@@ -168,7 +183,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	// Admission: refuse rather than queue without bound. The client is
 	// told when to come back; smpload counts these as shed, not failed.
-	out, ok := s.submit(c)
+	out, ok := s.submit(c, deadline)
 	if !ok {
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
@@ -182,7 +197,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// wasted: a salvage goroutine renders the late result into the
 	// response cache, so the retry the 504/Retry-After told the client
 	// to make is a hit, not a recompute.
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	timeout := s.cfg.RequestTimeout
+	if !deadline.IsZero() {
+		if until := time.Until(deadline); until < timeout {
+			timeout = until
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	select {
 	case <-ctx.Done():
@@ -195,6 +216,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	case res := <-out:
+		if errors.Is(res.Err, errDeadlineShed) {
+			s.error(w, started, http.StatusGatewayTimeout, res.Err.Error())
+			return
+		}
 		body, err := renderBody(c, res)
 		if err != nil {
 			s.error(w, started, http.StatusInternalServerError, err.Error())
@@ -243,8 +268,10 @@ func (s *Server) salvage(c *compiled, out <-chan runner.PoolResult) {
 // Every run records telemetry into its own bounded collector — not
 // just opted-in ones — so the live /v1/timeline feed sees all traffic;
 // recording is allocation-free per quantum, so this costs nothing the
-// bench gate would notice.
-func (s *Server) submit(c *compiled) (<-chan runner.PoolResult, bool) {
+// bench gate would notice. A non-zero deadline is re-checked at
+// dequeue: a cell that aged out waiting in the queue is shed instead
+// of computed.
+func (s *Server) submit(c *compiled, deadline time.Time) (<-chan runner.PoolResult, bool) {
 	if c.Trace {
 		c.chromeTrace = &trace.Timeline{NumCPUs: c.Config.Machine.NumCPUs}
 		c.Config.Trace = c.chromeTrace
@@ -257,9 +284,13 @@ func (s *Server) submit(c *compiled) (<-chan runner.PoolResult, bool) {
 		Scheduler: c.Scheduler,
 		Apps:      c.Apps,
 	}
-	if hook, delay := s.testRunHook, s.cfg.SimDelay; hook != nil || delay > 0 {
+	if hook, delay := s.testRunHook, s.cfg.SimDelay; hook != nil || delay > 0 || !deadline.IsZero() {
 		cfg, sched, apps := cell.Config, cell.Scheduler, cell.Apps
 		cell.Run = func() (sim.Result, error) {
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				s.metrics.observeDeadlineShed("dequeue")
+				return sim.Result{}, errDeadlineShed
+			}
 			if hook != nil {
 				hook()
 			}
@@ -272,11 +303,14 @@ func (s *Server) submit(c *compiled) (<-chan runner.PoolResult, bool) {
 	return s.pool.TrySubmit(cell)
 }
 
-// write sends a 200 with the exact cached/rendered body bytes.
+// write sends a 200 with the exact cached/rendered body bytes, stamped
+// with their integrity digest so every hop downstream can prove the
+// bytes arrived intact.
 func (s *Server) write(w http.ResponseWriter, started time.Time, body []byte, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set(digest.Header, digest.Sum(body))
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 	s.metrics.observe(http.StatusOK, time.Since(started))

@@ -3,10 +3,12 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
+	"busaware/internal/digest"
 	"busaware/internal/runner"
 )
 
@@ -46,12 +48,16 @@ type SweepRequest struct {
 // stream. Lines arrive in completion order; Index ties a line back to
 // its cell in the request. For Status 200 the Response field holds the
 // exact /v1/simulate body bytes for that cell (sans trailing newline),
-// so byte-identity checks work across both endpoints.
+// so byte-identity checks work across both endpoints. Digest is the
+// line's integrity digest over (status, index, response) — folding the
+// coordinates in means a corruption that remaps a line's digits is
+// caught, not just one that garbles its payload.
 type SweepCellResult struct {
 	Index    int             `json:"index"`
 	Status   int             `json:"status"`
 	Cache    string          `json:"cache,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	Digest   string          `json:"digest,omitempty"`
 	Response json.RawMessage `json:"response,omitempty"`
 }
 
@@ -94,10 +100,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	deadline, err := ParseDeadline(r.Header)
+	if err != nil {
+		s.error(w, started, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		s.metrics.observeDeadlineShed("admission")
+		s.error(w, started, http.StatusGatewayTimeout, "deadline already expired")
+		return
+	}
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	emit := func(line SweepCellResult) {
+		line.Digest = digest.SumLine(line.Status, line.Index, line.Response)
 		b, err := json.Marshal(line)
 		if err != nil {
 			return
@@ -120,8 +138,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	finish := func(d sweepDone) {
 		if d.err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(d.err, errDeadlineShed) {
+				status = http.StatusGatewayTimeout
+			}
 			for _, idx := range d.p.indices {
-				emit(SweepCellResult{Index: idx, Status: http.StatusInternalServerError, Error: d.err.Error()})
+				emit(SweepCellResult{Index: idx, Status: status, Error: d.err.Error()})
 			}
 			return
 		}
@@ -154,7 +176,7 @@ cells:
 		}
 		p := &sweepPending{c: c, indices: []int{idx}}
 		for {
-			out, ok := s.submit(c)
+			out, ok := s.submit(c, deadline)
 			if ok {
 				pending[c.Key] = p
 				inflight++

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Stream teardown coverage: a client that walks away from GET
+// /v1/timeline mid-stream must release its subscription (and the
+// handler goroutine behind it) promptly — a leak here accumulates one
+// goroutine plus one buffered channel per abandoned dashboard tab
+// until the process dies.
+
+// subscribers polls the feed's live-subscriber count.
+func subscribers(s *Server) int {
+	_, _, _, subs := s.feed.snapshot()
+	return subs
+}
+
+// waitSubscribers polls until the feed reports want subscribers (or
+// times out).
+func waitSubscribers(t *testing.T, s *Server, want int) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if subscribers(s) == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("feed stuck at %d subscribers, want %d", subscribers(s), want)
+}
+
+// TestTimelineClientDisconnectReleasesSubscription: open a timeline
+// stream, kill the client mid-stream, and check the subscription is
+// torn down and goroutines return to baseline.
+func TestTimelineClientDisconnectReleasesSubscription(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, TimelineQuanta: 50})
+
+	// A dedicated transport so client-side connection goroutines can be
+	// torn down before the leak measurement — the test is about server
+	// handler goroutines, not the client's pool.
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	defer tr.CloseIdleConnections()
+
+	before := runtime.NumGoroutine()
+	const streams = 4
+	cancels := make([]context.CancelFunc, 0, streams)
+	for i := 0; i < streams; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/timeline", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+	}
+	waitSubscribers(t, s, streams)
+
+	// Traffic while the streams are up, so teardown happens on a live
+	// feed, not an idle one.
+	post(t, ts.URL, fmt.Sprintf(`{"apps":%q}`, smallSpec))
+
+	for _, cancel := range cancels {
+		cancel()
+	}
+	waitSubscribers(t, s, 0)
+	// Drop every idle keep-alive connection before measuring: each one
+	// pins a server-side conn goroutine plus two client loops, and the
+	// post() above went through the shared default client.
+	tr.CloseIdleConnections()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+
+	// Goroutine count returns to (near) baseline once handlers unwind;
+	// allow slack for the HTTP machinery's own pooled goroutines.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines %d after teardown, baseline %d — leaked stream handlers", runtime.NumGoroutine(), before)
+}
+
+// TestTimelineMaxClosesPromptly: ?max=N streams must end on their own
+// after N lines and release the subscription without client action.
+func TestTimelineMaxClosesPromptly(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, TimelineQuanta: 25})
+	// Seed the backlog with sealed windows.
+	post(t, ts.URL, fmt.Sprintf(`{"apps":%q}`, smallSpec))
+
+	resp, err := http.Get(ts.URL + "/v1/timeline?backlog=256&max=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<20)
+	n := 0
+	for {
+		m, err := resp.Body.Read(buf[n:])
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	if n == 0 {
+		t.Fatal("no lines before max cutoff")
+	}
+	waitSubscribers(t, s, 0)
+}
