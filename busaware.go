@@ -150,6 +150,26 @@ func Policies() []string {
 	}
 }
 
+// EngineKind selects the simulation core a run executes on.
+type EngineKind = sim.EngineKind
+
+// The three simulation engines: the quantum-stepped reference core
+// (default), the event-driven core that leaps across constant
+// stretches, and shadow mode, which runs both and fails on any
+// divergence in results or timeline telemetry.
+const (
+	EngineQuantum = sim.EngineQuantum
+	EngineEvent   = sim.EngineEvent
+	EngineShadow  = sim.EngineShadow
+)
+
+// ParseEngine maps a flag value to an engine: "" or "quantum",
+// "event", or "shadow".
+func ParseEngine(s string) (EngineKind, error) { return sim.ParseEngine(s) }
+
+// Engines lists the accepted engine names.
+func Engines() []string { return []string{"quantum", "event", "shadow"} }
+
 // Run executes apps on machine m under s until every finite
 // application completes, and returns per-application turnarounds and
 // machine-wide statistics.
@@ -184,10 +204,34 @@ func NewTimelineCollector(cfg TimelineConfig) (*TimelineCollector, error) {
 // RunPolicy is the one-call convenience wrapper: build the named
 // policy and run the workload on the paper machine.
 func RunPolicy(policy string, apps []*App) (Result, error) {
+	return RunPolicyEngine(EngineQuantum, policy, apps)
+}
+
+// RunEngine is Run on an explicit simulation engine. newSched rebuilds
+// an equivalent scheduler for the shadow engine's verification core;
+// it is required when engine is EngineShadow and may be nil otherwise.
+func RunEngine(engine EngineKind, m MachineConfig, s Scheduler, newSched func() (Scheduler, error), apps []*App) (Result, error) {
+	return sim.Run(sim.Config{Machine: m, Engine: engine, SchedulerFactory: newSched}, s, apps)
+}
+
+// RunEngineTraced is RunEngine with schedule recording. Under the
+// shadow engine the trace belongs to the authoritative stepped run;
+// the verification core replays untraced.
+func RunEngineTraced(engine EngineKind, m MachineConfig, s Scheduler, newSched func() (Scheduler, error), apps []*App) (Result, *Timeline, error) {
+	tl := &trace.Timeline{NumCPUs: m.NumCPUs}
+	res, err := sim.Run(sim.Config{Machine: m, Engine: engine, Trace: tl, SchedulerFactory: newSched}, s, apps)
+	return res, tl, err
+}
+
+// RunPolicyEngine runs the named policy on the paper machine under the
+// given engine, reconstructing the policy for shadow's second core.
+func RunPolicyEngine(engine EngineKind, policy string, apps []*App) (Result, error) {
 	m := PaperMachine()
 	s, err := NewScheduler(policy, m, 1)
 	if err != nil {
 		return Result{}, err
 	}
-	return Run(m, s, apps)
+	return RunEngine(engine, m, s, func() (sched.Scheduler, error) {
+		return NewScheduler(policy, m, 1)
+	}, apps)
 }

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling|robust|degr|servers|smt|timeline] [-csv] [-workers N] [-runstats] [-timelineout f] [-cpuprofile f] [-memprofile f]
+//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling|robust|degr|servers|smt|timeline] [-engine quantum|event|shadow] [-csv] [-workers N] [-runstats] [-timelineout f] [-cpuprofile f] [-memprofile f]
+//
+// -engine selects the simulation core: quantum is the stepped
+// reference loop, event leaps across constant stretches, and shadow
+// runs both cores on every cell and fails on any divergence (the
+// correctness harness for the event engine). The figures themselves
+// are identical under all three.
 //
 // -fig timeline renders per-window telemetry (bus utilization,
 // admission decisions, saturation) for the saturated mix under the
@@ -33,6 +39,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	app := flag.String("app", "BT", "application for the scheduler-zoo comparison")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	engine := flag.String("engine", "", "simulation engine: quantum (stepped reference, default), event (leaps constant stretches), shadow (runs both, fails on divergence)")
 	runstats := flag.Bool("runstats", false, "print run-level metrics (per-batch wall time, simulated quanta, bus utilization, worker occupancy) after the figures")
 	timelineOut := flag.String("timelineout", "", "with -fig timeline: write per-window telemetry to this file (.csv = CSV, else NDJSON)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole regeneration to this file")
@@ -43,7 +50,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	err = run(*fig, *csv, *app, *workers, *runstats, *timelineOut)
+	err = run(*fig, *engine, *csv, *app, *workers, *runstats, *timelineOut)
 	// Finish the profiles before deciding the exit: a clean run flushes
 	// complete files; a failed run removes the partial ones instead of
 	// leaving truncated profiles that pprof would half-read.
@@ -55,8 +62,12 @@ func main() {
 	}
 }
 
-func run(fig string, csv bool, app string, workers int, runstats bool, timelineOut string) error {
-	opt := busaware.ExperimentOptions{Workers: workers}
+func run(fig, engine string, csv bool, app string, workers int, runstats bool, timelineOut string) error {
+	eng, err := busaware.ParseEngine(engine)
+	if err != nil {
+		return err
+	}
+	opt := busaware.ExperimentOptions{Workers: workers, Engine: eng}
 	var metrics *busaware.RunMetrics
 	if runstats {
 		metrics = busaware.NewRunMetrics()
@@ -69,8 +80,10 @@ func run(fig string, csv bool, app string, workers int, runstats bool, timelineO
 			fmt.Println(t.String())
 		}
 	}
+	var figTimes []figTime
 	defer func() {
 		if metrics != nil {
+			emit(figWallTable(eng, figTimes))
 			emit(runstatsTable(metrics))
 		}
 	}()
@@ -108,10 +121,19 @@ func run(fig string, csv bool, app string, workers int, runstats bool, timelineO
 	// preserves -fig all output byte-for-byte.
 	order := []string{"cal", "hit", "1a", "1b", "2a", "2b", "2c", "ablw", "ablq", "ovh", "zoo", "sampling", "robust", "degr", "servers", "smt"}
 
+	// timed wraps one figure so -runstats can report per-figure wall
+	// clock alongside the batch metrics.
+	timed := func(name string, f func() error) error {
+		t0 := time.Now()
+		err := f()
+		figTimes = append(figTimes, figTime{name: name, wall: time.Since(t0)})
+		return err
+	}
+
 	which := strings.ToLower(fig)
 	if which == "all" {
 		for _, k := range order {
-			if err := figs[k](); err != nil {
+			if err := timed(k, figs[k]); err != nil {
 				return err
 			}
 		}
@@ -121,7 +143,27 @@ func run(fig string, csv bool, app string, workers int, runstats bool, timelineO
 	if !ok {
 		return fmt.Errorf("unknown figure %q (want one of: all %s timeline)", which, strings.Join(order, " "))
 	}
-	return f()
+	return timed(which, f)
+}
+
+// figTime is one figure's wall-clock cost within a regeneration.
+type figTime struct {
+	name string
+	wall time.Duration
+}
+
+// figWallTable renders per-figure wall clock and the engine the run
+// executed on.
+func figWallTable(engine busaware.EngineKind, times []figTime) *report.Table {
+	t := report.NewTable(fmt.Sprintf("Per-figure wall clock (engine=%s)", engine),
+		"Figure", "Wall")
+	var total time.Duration
+	for _, ft := range times {
+		total += ft.wall
+		t.AddRowf(ft.name, ft.wall.Round(time.Millisecond).String())
+	}
+	t.AddRowf("TOTAL", total.Round(time.Millisecond).String())
+	return t
 }
 
 func fatal(err error) {

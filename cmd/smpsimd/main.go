@@ -28,6 +28,7 @@ import (
 
 	"busaware/internal/runner"
 	"busaware/internal/server"
+	"busaware/internal/sim"
 )
 
 func main() {
@@ -41,7 +42,13 @@ func main() {
 	simDelay := flag.Duration("simdelay", 0, "artificial per-cell latency, standing in for expensive cells (overload/drain demos)")
 	tlQuanta := flag.Int("timeline-window", 0, "telemetry window span in quanta (0 = 64); smaller spans stream /v1/timeline windows sooner")
 	tlWindows := flag.Int("timeline-windows", 0, "per-run retained window ring size (0 = 256); older windows fold into the run summary")
+	engineName := flag.String("engine", "", "simulation engine: quantum (stepped reference, default), event (leaps constant stretches), shadow (runs both, fails on divergence)")
 	flag.Parse()
+
+	engine, err := sim.ParseEngine(*engineName)
+	if err != nil {
+		fatal(err)
+	}
 
 	s := server.New(server.Config{
 		Workers:         *workers,
@@ -52,6 +59,7 @@ func main() {
 		SimDelay:        *simDelay,
 		TimelineQuanta:  *tlQuanta,
 		TimelineWindows: *tlWindows,
+		Engine:          engine,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 

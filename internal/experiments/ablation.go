@@ -74,13 +74,16 @@ func WindowAblation(opt Options, windows []int) ([]WindowAblationRow, error) {
 		if w < 1 {
 			return nil, fmt.Errorf("experiments: window %d", w)
 		}
-		policy := sched.NewQuantaWindow(opt.machine().NumCPUs, opt.capacity(),
-			append([]sched.Option{sched.WithWindow(w)}, opt.PolicyOpts...)...)
+		w := w
+		mk := func() (sched.Scheduler, error) {
+			return sched.NewQuantaWindow(opt.machine().NumCPUs, opt.capacity(),
+				append([]sched.Option{sched.WithWindow(w)}, opt.PolicyOpts...)...), nil
+		}
 		cells = append(cells, runner.Cell{
-			Label:     fmt.Sprintf("ablw/W%d", w),
-			Config:    opt.simConfig(),
-			Scheduler: policy,
-			Apps:      buildSet(rt, SetNBBMA),
+			Label:        fmt.Sprintf("ablw/W%d", w),
+			Config:       opt.simConfig(),
+			NewScheduler: mk,
+			Apps:         buildSet(rt, SetNBBMA),
 		})
 	}
 	linux, err := meanLinuxTurnaround(opt, rt, SetNBBMA)
@@ -141,13 +144,16 @@ func QuantumAblation(opt Options, quanta []units.Time) ([]QuantumAblationRow, er
 		if q <= 0 {
 			return nil, fmt.Errorf("experiments: quantum %v", q)
 		}
-		policy := sched.NewQuantaWindow(opt.machine().NumCPUs, opt.capacity(),
-			append([]sched.Option{sched.WithQuantum(q)}, opt.PolicyOpts...)...)
+		q := q
+		mk := func() (sched.Scheduler, error) {
+			return sched.NewQuantaWindow(opt.machine().NumCPUs, opt.capacity(),
+				append([]sched.Option{sched.WithQuantum(q)}, opt.PolicyOpts...)...), nil
+		}
 		cells = append(cells, runner.Cell{
-			Label:     fmt.Sprintf("ablq/%s", q),
-			Config:    opt.simConfig(),
-			Scheduler: policy,
-			Apps:      buildSet(bt, SetMixed),
+			Label:        fmt.Sprintf("ablq/%s", q),
+			Config:       opt.simConfig(),
+			NewScheduler: mk,
+			Apps:         buildSet(bt, SetMixed),
 		})
 	}
 	linux, err := meanLinuxTurnaround(opt, bt, SetMixed)
@@ -207,20 +213,23 @@ func ManagerOverhead(opt Options, perQuantum units.Time) (OverheadResult, error)
 	}
 	ncpu := opt.machine().NumCPUs
 	cap := opt.capacity()
+	mkQW := func() (sched.Scheduler, error) {
+		return sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), nil
+	}
 	managed := opt.simConfig()
 	managed.ManagerOverhead = perQuantum
 	results, err := opt.runCells("overhead", []runner.Cell{
 		{
-			Label:     "overhead/unmanaged",
-			Config:    opt.simConfig(),
-			Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
-			Apps:      build(),
+			Label:        "overhead/unmanaged",
+			Config:       opt.simConfig(),
+			NewScheduler: mkQW,
+			Apps:         build(),
 		},
 		{
-			Label:     "overhead/managed",
-			Config:    managed,
-			Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
-			Apps:      build(),
+			Label:        "overhead/managed",
+			Config:       managed,
+			NewScheduler: mkQW,
+			Apps:         build(),
 		},
 	})
 	if err != nil {
@@ -260,26 +269,29 @@ func SchedulerZoo(opt Options, appName string) ([]ZooRow, error) {
 	}
 	ncpu := opt.machine().NumCPUs
 	cap := opt.capacity()
-	optimal, err := sched.NewOptimal(ncpu, opt.machine().Bus)
-	if err != nil {
-		return nil, err
+	mks := []func() (sched.Scheduler, error){
+		func() (sched.Scheduler, error) { return sched.NewRoundRobin(ncpu, 0), nil },
+		func() (sched.Scheduler, error) { return sched.NewGang(ncpu), nil },
+		func() (sched.Scheduler, error) { return sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...), nil },
+		func() (sched.Scheduler, error) { return sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), nil },
+		func() (sched.Scheduler, error) { return sched.NewEWMAPolicy(ncpu, cap, 0.4, opt.PolicyOpts...), nil },
+		func() (sched.Scheduler, error) { return sched.NewOracle(ncpu, cap, opt.PolicyOpts...), nil },
+		func() (sched.Scheduler, error) { return sched.NewOptimal(ncpu, opt.machine().Bus) },
 	}
-	scheds := []sched.Scheduler{
-		sched.NewRoundRobin(ncpu, 0),
-		sched.NewGang(ncpu),
-		sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...),
-		sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
-		sched.NewEWMAPolicy(ncpu, cap, 0.4, opt.PolicyOpts...),
-		sched.NewOracle(ncpu, cap, opt.PolicyOpts...),
-		optimal,
-	}
+	var scheds []sched.Scheduler
 	var cells []runner.Cell
-	for _, s := range scheds {
+	for _, mk := range mks {
+		s, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		scheds = append(scheds, s)
 		cells = append(cells, runner.Cell{
-			Label:     fmt.Sprintf("zoo/%s", s.Name()),
-			Config:    opt.simConfig(),
-			Scheduler: s,
-			Apps:      buildSet(p, SetMixed),
+			Label:        fmt.Sprintf("zoo/%s", s.Name()),
+			Config:       opt.simConfig(),
+			Scheduler:    s,
+			NewScheduler: mk,
+			Apps:         buildSet(p, SetMixed),
 		})
 	}
 	results, err := opt.runCells("zoo", cells)
@@ -334,28 +346,33 @@ func SamplingAblation(opt Options, appNames []string) ([]SamplingAblationRow, er
 		reqCfg.Sampling = sim.SampleRequirements
 		consCfg := opt.simConfig()
 		consCfg.Sampling = sim.SampleConsumption
-		guarded := sched.NewQuantaWindow(ncpu, cap,
-			append([]sched.Option{sched.WithSaturationGuard()}, opt.PolicyOpts...)...)
+		mkQW := func() (sched.Scheduler, error) {
+			return sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), nil
+		}
+		mkGuarded := func() (sched.Scheduler, error) {
+			return sched.NewQuantaWindow(ncpu, cap,
+				append([]sched.Option{sched.WithSaturationGuard()}, opt.PolicyOpts...)...), nil
+		}
 
 		cells = append(cells, linuxCells(opt, p, SetBBMA)...)
 		cells = append(cells,
 			runner.Cell{
-				Label:     fmt.Sprintf("sampling/%s/requirements", name),
-				Config:    reqCfg,
-				Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
-				Apps:      buildSet(p, SetBBMA),
+				Label:        fmt.Sprintf("sampling/%s/requirements", name),
+				Config:       reqCfg,
+				NewScheduler: mkQW,
+				Apps:         buildSet(p, SetBBMA),
 			},
 			runner.Cell{
-				Label:     fmt.Sprintf("sampling/%s/consumption", name),
-				Config:    consCfg,
-				Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
-				Apps:      buildSet(p, SetBBMA),
+				Label:        fmt.Sprintf("sampling/%s/consumption", name),
+				Config:       consCfg,
+				NewScheduler: mkQW,
+				Apps:         buildSet(p, SetBBMA),
 			},
 			runner.Cell{
-				Label:     fmt.Sprintf("sampling/%s/guarded", name),
-				Config:    reqCfg,
-				Scheduler: guarded,
-				Apps:      buildSet(p, SetBBMA),
+				Label:        fmt.Sprintf("sampling/%s/guarded", name),
+				Config:       reqCfg,
+				NewScheduler: mkGuarded,
+				Apps:         buildSet(p, SetBBMA),
 			})
 	}
 	results, err := opt.runCells("ablation/sampling", cells)

@@ -33,10 +33,12 @@ type CalibrationResult struct {
 // sweep uniformly.
 func Calibrate(opt Options) (CalibrationResult, error) {
 	results, err := opt.runCells("calibration", []runner.Cell{{
-		Label:     "cal/STREAM",
-		Config:    opt.simConfig(),
-		Scheduler: sched.NewGang(opt.machine().NumCPUs),
-		Apps:      []*workload.App{workload.NewApp(workload.STREAM(), "STREAM#1")},
+		Label:  "cal/STREAM",
+		Config: opt.simConfig(),
+		NewScheduler: func() (sched.Scheduler, error) {
+			return sched.NewGang(opt.machine().NumCPUs), nil
+		},
+		Apps: []*workload.App{workload.NewApp(workload.STREAM(), "STREAM#1")},
 	}})
 	if err != nil {
 		return CalibrationResult{}, err

@@ -89,16 +89,20 @@ func Degradation(opt Options, rates []float64, seed int64) ([]DegradationPoint, 
 			cfg.Faults = class.config(seed+int64(100*ci+ri), rate)
 			cells = append(cells,
 				runner.Cell{
-					Label:     fmt.Sprintf("degr/%s/%.2f/LQ", class, rate),
-					Config:    cfg,
-					Scheduler: sched.NewLatestQuantum(ncpu, cap, popts...),
-					Apps:      buildSet(app, SetMixed),
+					Label:  fmt.Sprintf("degr/%s/%.2f/LQ", class, rate),
+					Config: cfg,
+					NewScheduler: func() (sched.Scheduler, error) {
+						return sched.NewLatestQuantum(ncpu, cap, popts...), nil
+					},
+					Apps: buildSet(app, SetMixed),
 				},
 				runner.Cell{
-					Label:     fmt.Sprintf("degr/%s/%.2f/QW", class, rate),
-					Config:    cfg,
-					Scheduler: sched.NewQuantaWindow(ncpu, cap, popts...),
-					Apps:      buildSet(app, SetMixed),
+					Label:  fmt.Sprintf("degr/%s/%.2f/QW", class, rate),
+					Config: cfg,
+					NewScheduler: func() (sched.Scheduler, error) {
+						return sched.NewQuantaWindow(ncpu, cap, popts...), nil
+					},
+					Apps: buildSet(app, SetMixed),
 				})
 		}
 	}

@@ -31,6 +31,12 @@ type Options struct {
 	// experiment builds. The zero value is inert: no injector is
 	// created and results are identical to a fault-free run.
 	Faults faults.Config
+	// Engine selects the simulation core for every cell: the default
+	// quantum-stepped loop, the event-driven leaping engine, or shadow
+	// mode, which runs both and fails on any divergence. Every cell
+	// carries a scheduler factory, so shadow mode works across the whole
+	// figure grid.
+	Engine sim.EngineKind
 	// PolicyOpts are applied to every bandwidth-aware policy built.
 	PolicyOpts []sched.Option
 	// Workers bounds the parallel runner's worker pool. Zero selects
@@ -64,7 +70,7 @@ func (o Options) seeds() []int64 {
 }
 
 func (o Options) simConfig() sim.Config {
-	return sim.Config{Machine: o.machine(), Sampling: o.Sampling, Faults: o.Faults}
+	return sim.Config{Machine: o.machine(), Sampling: o.Sampling, Faults: o.Faults, Engine: o.Engine}
 }
 
 func (o Options) capacity() units.Rate {
@@ -143,11 +149,14 @@ func (o Options) runCells(name string, cells []runner.Cell) ([]sim.Result, error
 func linuxCells(opt Options, app workload.Profile, set WorkloadSet) []runner.Cell {
 	var cells []runner.Cell
 	for _, seed := range opt.seeds() {
+		seed := seed
 		cells = append(cells, runner.Cell{
-			Label:     fmt.Sprintf("linux/%s/%s/seed%d", app.Name, set, seed),
-			Config:    opt.simConfig(),
-			Scheduler: sched.NewLinux(opt.machine().NumCPUs, seed),
-			Apps:      buildSet(app, set),
+			Label:  fmt.Sprintf("linux/%s/%s/seed%d", app.Name, set, seed),
+			Config: opt.simConfig(),
+			NewScheduler: func() (sched.Scheduler, error) {
+				return sched.NewLinux(opt.machine().NumCPUs, seed), nil
+			},
+			Apps: buildSet(app, set),
 		})
 	}
 	return cells

@@ -111,19 +111,17 @@ func SMTStudy(opt Options) ([]SMTRow, error) {
 	policies := []string{"Linux", "QuantaWindow"}
 	var cells []runner.Cell
 	for _, name := range policies {
-		offCfg := sim.Config{Machine: off, Sampling: opt.Sampling}
-		sOff, err := mkPolicy(name, offCfg, off.NumCPUs)
-		if err != nil {
-			return nil, err
-		}
-		onCfg := sim.Config{Machine: on, Sampling: opt.Sampling}
-		sOn, err := mkPolicy(name, onCfg, on.NumCPUs)
-		if err != nil {
+		name := name
+		offCfg := sim.Config{Machine: off, Sampling: opt.Sampling, Engine: opt.Engine}
+		onCfg := sim.Config{Machine: on, Sampling: opt.Sampling, Engine: opt.Engine}
+		mkOff := func() (sched.Scheduler, error) { return mkPolicy(name, offCfg, off.NumCPUs) }
+		mkOn := func() (sched.Scheduler, error) { return mkPolicy(name, onCfg, on.NumCPUs) }
+		if _, err := mkOff(); err != nil {
 			return nil, err
 		}
 		cells = append(cells,
-			runner.Cell{Label: "smt/" + name + "/off", Config: offCfg, Scheduler: sOff, Apps: build(1)},
-			runner.Cell{Label: "smt/" + name + "/on", Config: onCfg, Scheduler: sOn, Apps: build(2)})
+			runner.Cell{Label: "smt/" + name + "/off", Config: offCfg, NewScheduler: mkOff, Apps: build(1)},
+			runner.Cell{Label: "smt/" + name + "/on", Config: onCfg, NewScheduler: mkOn, Apps: build(2)})
 	}
 	results, err := opt.runCells("smt", cells)
 	if err != nil {

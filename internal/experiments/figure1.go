@@ -68,10 +68,12 @@ func Figure1(opt Options) ([]Fig1Row, error) {
 func figure1Cells(opt Options, p workload.Profile) []runner.Cell {
 	mk := func(cfg string, apps []*workload.App) runner.Cell {
 		return runner.Cell{
-			Label:     fmt.Sprintf("fig1/%s/%s", p.Name, cfg),
-			Config:    opt.simConfig(),
-			Scheduler: sched.NewGang(opt.machine().NumCPUs),
-			Apps:      apps,
+			Label:  fmt.Sprintf("fig1/%s/%s", p.Name, cfg),
+			Config: opt.simConfig(),
+			NewScheduler: func() (sched.Scheduler, error) {
+				return sched.NewGang(opt.machine().NumCPUs), nil
+			},
+			Apps: apps,
 		}
 	}
 	return []runner.Cell{

@@ -70,16 +70,20 @@ func figure2Cells(set WorkloadSet, opt Options, p workload.Profile) []runner.Cel
 	cells := linuxCells(opt, p, set)
 	return append(cells,
 		runner.Cell{
-			Label:     fmt.Sprintf("LQ/%s/%s", p.Name, set),
-			Config:    opt.simConfig(),
-			Scheduler: sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...),
-			Apps:      buildSet(p, set),
+			Label:  fmt.Sprintf("LQ/%s/%s", p.Name, set),
+			Config: opt.simConfig(),
+			NewScheduler: func() (sched.Scheduler, error) {
+				return sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...), nil
+			},
+			Apps: buildSet(p, set),
 		},
 		runner.Cell{
-			Label:     fmt.Sprintf("QW/%s/%s", p.Name, set),
-			Config:    opt.simConfig(),
-			Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
-			Apps:      buildSet(p, set),
+			Label:  fmt.Sprintf("QW/%s/%s", p.Name, set),
+			Config: opt.simConfig(),
+			NewScheduler: func() (sched.Scheduler, error) {
+				return sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), nil
+			},
+			Apps: buildSet(p, set),
 		})
 }
 

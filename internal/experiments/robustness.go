@@ -70,24 +70,31 @@ func Robustness(opt Options, n int, seed int64) (RobustnessResult, error) {
 			}
 			return apps
 		}
+		linuxSeed := wrng.Int63()
 		cells = append(cells,
 			runner.Cell{
-				Label:     fmt.Sprintf("robust/%d/linux", i),
-				Config:    opt.simConfig(),
-				Scheduler: sched.NewLinux(ncpu, wrng.Int63()),
-				Apps:      build(),
+				Label:  fmt.Sprintf("robust/%d/linux", i),
+				Config: opt.simConfig(),
+				NewScheduler: func() (sched.Scheduler, error) {
+					return sched.NewLinux(ncpu, linuxSeed), nil
+				},
+				Apps: build(),
 			},
 			runner.Cell{
-				Label:     fmt.Sprintf("robust/%d/LQ", i),
-				Config:    opt.simConfig(),
-				Scheduler: sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...),
-				Apps:      build(),
+				Label:  fmt.Sprintf("robust/%d/LQ", i),
+				Config: opt.simConfig(),
+				NewScheduler: func() (sched.Scheduler, error) {
+					return sched.NewLatestQuantum(ncpu, cap, opt.PolicyOpts...), nil
+				},
+				Apps: build(),
 			},
 			runner.Cell{
-				Label:     fmt.Sprintf("robust/%d/QW", i),
-				Config:    opt.simConfig(),
-				Scheduler: sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...),
-				Apps:      build(),
+				Label:  fmt.Sprintf("robust/%d/QW", i),
+				Config: opt.simConfig(),
+				NewScheduler: func() (sched.Scheduler, error) {
+					return sched.NewQuantaWindow(ncpu, cap, opt.PolicyOpts...), nil
+				},
+				Apps: build(),
 			})
 	}
 	results, err := opt.runCells("robustness", cells)

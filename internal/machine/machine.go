@@ -154,6 +154,7 @@ type Machine struct {
 	reqs     []bus.Request
 	grants   []bus.Grant
 	steps    []ThreadStep
+	plan     StretchPlan
 }
 
 // New builds a Machine.
@@ -339,10 +340,12 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
+var errIdleDuration = errors.New("machine: non-positive idle duration")
+
 // Idle advances time without running anything (all CPUs idle).
 func (m *Machine) Idle(dt units.Time) error {
 	if dt <= 0 {
-		return errors.New("machine: non-positive idle duration")
+		return errIdleDuration
 	}
 	m.now += dt
 	return nil

@@ -14,6 +14,10 @@ type Gang struct {
 	quantum units.Time
 	numCPUs int
 	list    jobList
+
+	// lastAllSelected records whether the most recent Schedule call ran
+	// every job — the rotation-preserving case Stable keys on.
+	lastAllSelected bool
 }
 
 // NewGang builds the gang round-robin ablation scheduler.
@@ -44,10 +48,16 @@ func (g *Gang) Name() string { return "GangRR" }
 func (g *Gang) Quantum() units.Time { return g.quantum }
 
 // Add implements Scheduler.
-func (g *Gang) Add(j *Job) { g.list.add(j) }
+func (g *Gang) Add(j *Job) {
+	g.list.add(j)
+	g.lastAllSelected = false
+}
 
 // Remove implements Scheduler.
-func (g *Gang) Remove(j *Job) { g.list.remove(j) }
+func (g *Gang) Remove(j *Job) {
+	g.list.remove(j)
+	g.lastAllSelected = false
+}
 
 // Schedule implements Scheduler.
 func (g *Gang) Schedule(now units.Time, aff Affinity) []machine.Placement {
@@ -66,6 +76,7 @@ func (g *Gang) Schedule(now units.Time, aff Affinity) []machine.Placement {
 			break
 		}
 	}
+	g.lastAllSelected = len(selected) > 0 && len(selected) == g.list.len()
 	g.list.rotateToTail(ran)
 	return assignCPUs(selected, aff, g.numCPUs)
 }

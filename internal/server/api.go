@@ -61,6 +61,9 @@ type compiled struct {
 	Key       string
 	Config    sim.Config
 	Scheduler sched.Scheduler
+	// NewScheduler rebuilds an identical fresh scheduler — the shadow
+	// engine's second core runs against its own instance.
+	NewScheduler func() (sched.Scheduler, error)
 	// Apps are fresh instances owned by this request; sim.Run mutates
 	// them, so a compiled request is single-use.
 	Apps  []*workload.App
@@ -120,9 +123,12 @@ func compile(req Request) (*compiled, error) {
 			faultKey(fcfg), workload.CanonicalSpec(apps)),
 		Config:    sim.Config{Machine: m, MaxTime: maxTime, Faults: fcfg},
 		Scheduler: s,
-		Apps:      apps,
-		Trace:     req.Trace,
-		Timeline:  req.Timeline,
+		NewScheduler: func() (sched.Scheduler, error) {
+			return newScheduler(policy, m, seed)
+		},
+		Apps:     apps,
+		Trace:    req.Trace,
+		Timeline: req.Timeline,
 	}, nil
 }
 

@@ -1,0 +1,651 @@
+// Event-driven engine: instead of stepping every quantum, leap across
+// stretches during which nothing observable changes.
+//
+// The quantum-stepped loop spends almost all of its time recomputing a
+// fixed point: in steady state the scheduler reproduces the same
+// placements, the bus model grants the same speeds, and every sampling
+// artifact repeats bitwise. The event engine detects that fixed point
+// after each stepped quantum (the "probe") and replays the stretch it
+// anchors analytically:
+//
+//   - integer state — machine clock, per-CPU busy time, performance
+//     counters, per-app run time and transaction totals — batches in
+//     O(1) per stretch, because modular integer addition is
+//     associative;
+//   - floating-point state — thread progress, phase position, the
+//     bandwidth-sample windows, the bus-utilization sum — is replayed
+//     value-by-value in the exact order the stepped loop would have
+//     produced, because float addition is not associative and the
+//     goldens pin results to the bit. The replay skips everything else
+//     (scheduling, bus allocation, counter mutexes, monitor polls,
+//     per-quantum map traffic), which is where the speedup comes from.
+//
+// The stretch ends at the earliest "interesting" time: the MaxTime
+// guard, a phase boundary, a completion, a barrier that is not in
+// provable lockstep, or — conservatively — anything the per-quantum
+// invariant check notices. Faults, CPU-manager overhead, per-placement
+// tracing and dynamic arrivals all force the engine back to plain
+// quantum-stepping with zero behaviour change.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"busaware/internal/bus"
+	"busaware/internal/machine"
+	"busaware/internal/perfctr"
+	"busaware/internal/sched"
+	"busaware/internal/timeline"
+	"busaware/internal/units"
+	"busaware/internal/workload"
+)
+
+// EngineKind selects the simulation core.
+type EngineKind int
+
+const (
+	// EngineQuantum is the classic loop: schedule, step, sample, every
+	// quantum. The zero value, so existing callers are unchanged.
+	EngineQuantum EngineKind = iota
+	// EngineEvent leaps across constant stretches and falls back to
+	// quantum-stepping whenever state actually evolves. Results are
+	// bit-identical to EngineQuantum.
+	EngineEvent
+	// EngineShadow runs both cores on identical inputs and diffs the
+	// full Result structs and timeline windows — the paranoid mode CI
+	// uses to hold the event engine to the stepped loop.
+	EngineShadow
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineQuantum:
+		return "quantum"
+	case EngineEvent:
+		return "event"
+	case EngineShadow:
+		return "shadow"
+	default:
+		return fmt.Sprintf("engine(%d)", int(k))
+	}
+}
+
+// ParseEngine maps a flag value to an EngineKind. The empty string
+// selects EngineQuantum, matching the Config zero value.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "", "quantum":
+		return EngineQuantum, nil
+	case "event":
+		return EngineEvent, nil
+	case "shadow":
+		return EngineShadow, nil
+	default:
+		return EngineQuantum, fmt.Errorf("sim: unknown engine %q (want quantum, event or shadow)", s)
+	}
+}
+
+// leapSlack inflates per-quantum progress upper bounds so that
+// floating-point accumulation error over a long stretch can never push
+// a thread past an event boundary the integer horizon math placed it
+// before. Summation error over a stretch is bounded by ~n·ε with
+// n ≤ ~2e5 additions and ε = 2^-52, i.e. below 1e-10 relative; 1e-9
+// leaves an order of magnitude to spare and costs at most one quantum
+// of horizon.
+const leapSlack = 1e-9
+
+// leapApp is one application's precomputed per-quantum sampling
+// artifacts within a stretch.
+type leapApp struct {
+	st *appState
+	// push is the bandwidth sample the app's job receives each replayed
+	// quantum — proven bitwise equal to the probe's push.
+	push units.Rate
+	// trans is the per-quantum transaction total the sampling loop
+	// accrues for the app.
+	trans uint64
+}
+
+// leapScratch is tryLeap's reusable state, owned by one run loop.
+type leapScratch struct {
+	apps []leapApp
+	// finiteThreads and multiPhase are the per-quantum stop watch list:
+	// the plan threads whose replay-visible state can actually move.
+	// ReplayAdvance writes only progress and phase position, so debt,
+	// barriers and single-phase bus requests are physically frozen for
+	// the whole stretch (PlanStretch verified them at the probe). What
+	// remains observable per quantum is a finite thread completing and
+	// a multi-phase thread wrapping (visible as a request change).
+	finiteThreads []*workload.Thread
+	multiPhase    []int
+}
+
+// leapHorizon bounds how many quanta may be replayed from the plan
+// before an event could change behaviour: the MaxTime guard, a phase
+// boundary (Step re-reads demands every micro-step, so the whole
+// boundary-crossing quantum must be excluded), a completion (the
+// completing quantum runs stepped), or a barrier whose gang is not in
+// provable lockstep. Zero means no leap.
+func leapHorizon(plan *machine.StretchPlan, now, maxTime units.Time) int {
+	q := plan.Quantum
+	if q <= 0 || now >= maxTime {
+		return 0
+	}
+	// Quanta the stepped loop would still start before the guard fires.
+	k := int((maxTime - now + q - 1) / q)
+	for i := range plan.Threads {
+		pt := &plan.Threads[i]
+		var soloQ float64
+		for _, s := range pt.SoloPerSub {
+			soloQ += s
+		}
+		if soloQ <= 0 {
+			// No progress, hence no thread-side events.
+			continue
+		}
+		perQ := soloQ * (1 + leapSlack)
+		t := pt.Thread
+		prof := &t.App.Profile
+		if !prof.Endless() {
+			rem := float64(prof.SoloTime) - t.Progress()
+			if rem <= perQ {
+				return 0
+			}
+			// Largest kc with kc*perQ < rem. perQ carries leapSlack, which
+			// dwarfs the replay sum's accumulated rounding (~20k additions
+			// of exact per-sub values), so kc quanta provably cannot reach
+			// completion and the completing quantum itself stays stepped.
+			kc := int(rem / perQ)
+			if float64(kc)*perQ >= rem {
+				kc--
+			}
+			if kc < k {
+				k = kc
+			}
+		}
+		if len(prof.Phases) > 1 {
+			idx, used := t.PhasePos()
+			rem := float64(prof.Phases[idx].Duration) - used
+			if rem <= perQ {
+				return 0
+			}
+			if kp := int(rem/perQ) - 1; kp < k {
+				k = kp
+			}
+		}
+		if prof.BarrierInterval > 0 && len(t.App.Threads) > 1 && !lockstepGang(plan, t.App) {
+			head := t.BarrierHeadroom()
+			if head <= perQ {
+				return 0
+			}
+			if kb := int(head/perQ) - 1; kb < k {
+				k = kb
+			}
+		}
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// lockstepGang proves a barrier gang cannot spin during the stretch:
+// every sibling is placed, all start at bitwise-equal progress, all
+// receive bitwise-equal per-micro-step advances (so progress stays
+// equal by induction), and each advance is well inside the barrier
+// interval (so the running thread's headroom, always at least one full
+// interval over its unadvanced siblings, covers it). Such a gang never
+// clamps, hence never changes demand.
+func lockstepGang(plan *machine.StretchPlan, app *workload.App) bool {
+	first, count := -1, 0
+	for i := range plan.Threads {
+		if plan.Threads[i].Thread.App != app {
+			continue
+		}
+		count++
+		if first < 0 {
+			first = i
+			continue
+		}
+		a, b := &plan.Threads[first], &plan.Threads[i]
+		if b.Thread.Progress() != a.Thread.Progress() {
+			return false
+		}
+		if len(b.SoloPerSub) != len(a.SoloPerSub) {
+			return false
+		}
+		for s := range a.SoloPerSub {
+			if a.SoloPerSub[s] != b.SoloPerSub[s] {
+				return false
+			}
+		}
+	}
+	if first < 0 || count != len(app.Threads) {
+		return false
+	}
+	var maxSub float64
+	for _, s := range plan.Threads[first].SoloPerSub {
+		if s > maxSub {
+			maxSub = s
+		}
+	}
+	return maxSub*2 <= float64(app.Profile.BarrierInterval)
+}
+
+// leapStop reports whether a stretch invariant that replay can actually
+// move broke after a replayed quantum: a finite thread or application
+// finished, or a multi-phase thread's bus request drifted. With a
+// correct horizon none of these fire; they are defence in depth against
+// horizon-math bugs. Debt, barriers and single-phase requests need no
+// per-quantum check — nothing in the replay loop writes them (see
+// leapScratch).
+func (ls *leapScratch) leapStop(plan *machine.StretchPlan, finite []*appState) bool {
+	for _, t := range ls.finiteThreads {
+		if t.Done() {
+			return true
+		}
+	}
+	for _, i := range ls.multiPhase {
+		t := plan.Threads[i].Thread
+		if (bus.Request{Demand: t.Demand(), StallFrac: t.StallFrac()}) != plan.Threads[i].Req {
+			return true
+		}
+	}
+	for _, st := range finite {
+		if st.app.Done() {
+			return true
+		}
+	}
+	return false
+}
+
+// planThreadIndex finds t among the plan's placements, or -1.
+func planThreadIndex(plan *machine.StretchPlan, t *workload.Thread) int {
+	for i := range plan.Threads {
+		if plan.Threads[i].Thread == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// tryLeap attempts to replay the stretch anchored by the quantum just
+// stepped. It returns the number of quanta leapt (0 = none; the loop
+// keeps stepping). All preconditions are checked here so a failed
+// attempt costs a few comparisons and leaves every piece of state
+// untouched.
+func (ls *leapScratch) tryLeap(
+	cfg *Config,
+	s sched.Scheduler,
+	m *machine.Machine,
+	quantum units.Time,
+	placements []machine.Placement,
+	states []*appState,
+	byApp map[*workload.App]*appState,
+	finite []*appState,
+	connected, admitted int,
+	res *Result,
+	utilSum *float64,
+) int {
+	// The scheduler must certify that re-running Schedule would
+	// reproduce these placements without evolving internal state.
+	ss, ok := s.(sched.StretchStable)
+	if !ok || !ss.Stable() {
+		return 0
+	}
+	// An application that completed during the probe changes the next
+	// schedule; let retirement and stepping handle it.
+	for _, st := range finite {
+		if st.app.Done() && !st.app.IsMarkedCompleted() {
+			return 0
+		}
+	}
+	plan, ok := m.PlanStretch(placements, quantum)
+	if !ok {
+		return 0
+	}
+	maxK := leapHorizon(plan, m.Now(), cfg.MaxTime)
+	if maxK < 1 {
+		return 0
+	}
+
+	// Reconstruct the probe's sampling pass from the plan: the same
+	// demand accumulation in placement order, the same synthesized
+	// monitor rates, the same per-thread equipartition. Every push
+	// value must be bitwise equal to the sample the job just received,
+	// otherwise the estimate is not a fixed point and replaying would
+	// diverge from stepping.
+	for i := range plan.Threads {
+		pt := &plan.Threads[i]
+		st := byApp[pt.Thread.App]
+		st.ranThreads++
+		if pt.Speed > 0 {
+			st.demandCum += float64(pt.Rate) / pt.Speed
+		}
+	}
+	ls.apps = ls.apps[:0]
+	steady := true
+	for _, st := range states {
+		var appTrans uint64
+		for ti := range st.app.Threads {
+			var deltas [perfctr.NumEvents]uint64
+			if pi := planThreadIndex(plan, st.app.Threads[ti]); pi >= 0 {
+				pt := &plan.Threads[pi]
+				deltas[perfctr.EventCycles] = pt.CyclesPerQ
+				deltas[perfctr.EventBusTransAny] = pt.TransPerQ
+				deltas[perfctr.EventL2Refs] = pt.RefsPerQ
+				deltas[perfctr.EventL2Misses] = pt.MissPerQ
+			}
+			rates, rok := perfctr.SynthesizeRates(deltas, quantum)
+			if !rok {
+				continue
+			}
+			appTrans += uint64(rates[perfctr.EventBusTransAny] * float64(quantum))
+		}
+		if n := st.ranThreads; n > 0 {
+			var cum units.Rate
+			switch cfg.Sampling {
+			case SampleConsumption:
+				cum = units.Rate(float64(appTrans) / float64(quantum))
+			default: // SampleRequirements
+				cum = units.Rate(st.demandCum)
+			}
+			push := units.Rate(float64(cum / units.Rate(n)))
+			if push != st.job.LatestRate() {
+				steady = false
+			}
+			ls.apps = append(ls.apps, leapApp{st: st, push: push, trans: appTrans})
+		}
+		st.ranThreads = 0
+		st.demandCum = 0
+	}
+	if !steady {
+		return 0
+	}
+
+	// Watch list for the per-quantum stop check: only state replay can
+	// move needs re-testing each quantum.
+	ls.finiteThreads = ls.finiteThreads[:0]
+	ls.multiPhase = ls.multiPhase[:0]
+	for i := range plan.Threads {
+		t := plan.Threads[i].Thread
+		if !t.App.Profile.Endless() {
+			ls.finiteThreads = append(ls.finiteThreads, t)
+		}
+		if len(t.App.Profile.Phases) > 1 {
+			ls.multiPhase = append(ls.multiPhase, i)
+		}
+	}
+
+	// Replay. Per quantum: the exact micro-step advance sequence, the
+	// utilization accumulation, and one bandwidth sample per admitted
+	// application — the full float-visible footprint of a stepped
+	// quantum. Everything integer is batched afterwards. ReplayAdvance
+	// is AdvanceWork minus the debt/completion/barrier checks the leap
+	// horizon already proved are no-ops; the float arithmetic it
+	// performs is bitwise identical.
+	startNow := m.Now()
+	k := 0
+	for k < maxK {
+		for i := range plan.Threads {
+			pt := &plan.Threads[i]
+			pt.Thread.ReplayAdvance(pt.SoloPerSub)
+		}
+		k++
+		res.Quanta++
+		*utilSum += plan.MeanUtilization
+		for i := range ls.apps {
+			ls.apps[i].st.job.PushSample(ls.apps[i].push)
+		}
+		if ls.leapStop(plan, finite) {
+			break
+		}
+	}
+
+	// Batched integer commit: counters, per-app totals, machine clock
+	// and busy time — all modular or integral, so k quanta collapse to
+	// one addition each.
+	for i := range plan.Threads {
+		pt := &plan.Threads[i]
+		c := &pt.Thread.Counters
+		c.Add(perfctr.EventCycles, uint64(k)*pt.CyclesPerQ)
+		c.Add(perfctr.EventBusTransAny, uint64(k)*pt.TransPerQ)
+		if miss := 1 - pt.Thread.App.Profile.WorkingSet.HitRate; miss > 0 {
+			c.Add(perfctr.EventL2Refs, uint64(k)*pt.RefsPerQ)
+			c.Add(perfctr.EventL2Misses, uint64(k)*pt.MissPerQ)
+		}
+	}
+	for i := range ls.apps {
+		la := &ls.apps[i]
+		la.st.runTime += units.Time(k) * quantum
+		la.st.trans += uint64(k) * la.trans
+	}
+	m.CommitStretch(plan, k)
+
+	// Stepping polls every monitor of every application each quantum —
+	// including retired and idle ones, whose baselines still advance.
+	// Resync them all to the post-stretch clock and counter values.
+	endNow := m.Now()
+	for _, st := range states {
+		for _, mon := range st.monitors {
+			mon.Resync(endNow)
+		}
+	}
+
+	if cfg.Timeline != nil {
+		cfg.Timeline.RecordQuanta(timeline.Sample{
+			StartUsec:   int64(startNow),
+			DurUsec:     int64(quantum),
+			Utilization: plan.MeanUtilization,
+			Served:      float64(plan.MeanServed),
+			Stretch:     plan.Outcome.Stretch,
+			Placed:      len(plan.Threads),
+			Runnable:    connected,
+			Admitted:    admitted,
+		}, k)
+	}
+	res.LeaptQuanta += k
+	return k
+}
+
+// leapIdle batches the idle quanta between "no job connected" and the
+// next arrival (or the MaxTime guard). With an empty queue every
+// scheduler's Schedule is a stateless no-op and an idle quantum's only
+// observable effects are the clock, the quantum count, one zero
+// timeline sample and advancing monitor baselines — all exactly
+// batchable.
+func leapIdle(
+	cfg *Config,
+	m *machine.Machine,
+	quantum units.Time,
+	states []*appState,
+	pending []*appState,
+	res *Result,
+) error {
+	next := cfg.MaxTime
+	for _, st := range pending {
+		if st.app.Arrived < next {
+			next = st.app.Arrived
+		}
+	}
+	now := m.Now()
+	if next <= now {
+		return nil
+	}
+	k := int((next - now + quantum - 1) / quantum)
+	if k < 1 {
+		return nil
+	}
+	startNow := now
+	if err := m.IdleN(quantum, k); err != nil {
+		return err
+	}
+	res.Quanta += k
+	res.LeaptQuanta += k
+	// utilSum accrues +0.0 per idle quantum — a bitwise no-op on a
+	// non-negative sum, so it is skipped entirely.
+	endNow := m.Now()
+	for _, st := range states {
+		for _, mon := range st.monitors {
+			mon.Resync(endNow)
+		}
+	}
+	if cfg.Timeline != nil {
+		cfg.Timeline.RecordQuanta(timeline.Sample{
+			StartUsec: int64(startNow),
+			DurUsec:   int64(quantum),
+		}, k)
+	}
+	return nil
+}
+
+// runShadow executes the workload on both cores — the stepped loop on
+// the caller's scheduler and applications (authoritative), the event
+// engine on fresh clones — and diffs everything: the full Result
+// structs and every timeline window. Divergences go to
+// Config.ShadowDiffs when set, otherwise they are returned as an
+// error. The authoritative result is returned either way.
+func runShadow(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
+	if cfg.SchedulerFactory == nil {
+		return Result{}, errors.New("sim: shadow engine requires Config.SchedulerFactory")
+	}
+	s2, err := cfg.SchedulerFactory()
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: shadow scheduler: %w", err)
+	}
+	if s2 == nil {
+		return Result{}, errors.New("sim: shadow scheduler factory returned nil")
+	}
+	clones := make([]*workload.App, len(apps))
+	for i, a := range apps {
+		if a == nil {
+			return Result{}, fmt.Errorf("sim: nil app at index %d", i)
+		}
+		clones[i] = a.CloneFresh()
+	}
+
+	cfgQ := cfg
+	cfgQ.Engine = EngineQuantum
+	if cfgQ.Timeline == nil {
+		// Shadow always verifies the timeline path, even when the
+		// caller attached no collector.
+		cfgQ.Timeline = timeline.MustNew(timeline.Config{})
+	}
+	cfgE := cfg
+	cfgE.Engine = EngineEvent
+	// Per-placement tracing belongs to the authoritative run only.
+	cfgE.Trace = nil
+	cfgE.Timeline = timeline.MustNew(timeline.Config{
+		QuantaPerWindow:     cfgQ.Timeline.QuantaPerWindow(),
+		Capacity:            cfgQ.Timeline.Capacity(),
+		SaturationThreshold: cfgQ.Timeline.SaturationThreshold(),
+	})
+
+	resQ, errQ := run(cfgQ, s, apps)
+	resE, errE := run(cfgE, s2, clones)
+	if errQ != nil || errE != nil {
+		if (errQ == nil) != (errE == nil) {
+			return resQ, fmt.Errorf("sim: shadow error divergence: quantum=%v event=%v", errQ, errE)
+		}
+		return resQ, errQ
+	}
+
+	diffs := diffResults(resQ, resE)
+	diffs = append(diffs, diffTimelines(cfgQ.Timeline, cfgE.Timeline)...)
+	if len(diffs) == 0 {
+		return resQ, nil
+	}
+	if cfg.ShadowDiffs != nil {
+		*cfg.ShadowDiffs = append(*cfg.ShadowDiffs, diffs...)
+		return resQ, nil
+	}
+	return resQ, fmt.Errorf("sim: shadow divergence (%d): %s", len(diffs), diffs[0])
+}
+
+// diffResults compares every field of two Results, floats bitwise.
+func diffResults(q, e Result) []string {
+	var d []string
+	add := func(format string, args ...any) {
+		d = append(d, fmt.Sprintf(format, args...))
+	}
+	fdiff := func(a, b float64) bool {
+		return math.Float64bits(a) != math.Float64bits(b)
+	}
+	if q.Scheduler != e.Scheduler {
+		add("scheduler: %q vs %q", q.Scheduler, e.Scheduler)
+	}
+	if q.Quanta != e.Quanta {
+		add("quanta: %d vs %d", q.Quanta, e.Quanta)
+	}
+	if q.EndTime != e.EndTime {
+		add("end time: %d vs %d", q.EndTime, e.EndTime)
+	}
+	if q.TimedOut != e.TimedOut {
+		add("timed out: %v vs %v", q.TimedOut, e.TimedOut)
+	}
+	if q.Migrations != e.Migrations {
+		add("migrations: %d vs %d", q.Migrations, e.Migrations)
+	}
+	if q.ContextSwitches != e.ContextSwitches {
+		add("context switches: %d vs %d", q.ContextSwitches, e.ContextSwitches)
+	}
+	if fdiff(q.MeanBusUtilization, e.MeanBusUtilization) {
+		add("mean bus utilization: %x vs %x", q.MeanBusUtilization, e.MeanBusUtilization)
+	}
+	if q.FaultStats != e.FaultStats {
+		add("fault stats: %+v vs %+v", q.FaultStats, e.FaultStats)
+	}
+	if len(q.Apps) != len(e.Apps) {
+		add("app count: %d vs %d", len(q.Apps), len(e.Apps))
+		return d
+	}
+	for i := range q.Apps {
+		a, b := q.Apps[i], e.Apps[i]
+		if a.Instance != b.Instance || a.Profile != b.Profile {
+			add("app[%d]: identity %s/%s vs %s/%s", i, a.Instance, a.Profile, b.Instance, b.Profile)
+		}
+		if a.Turnaround != b.Turnaround {
+			add("app[%d] %s: turnaround %d vs %d", i, a.Instance, a.Turnaround, b.Turnaround)
+		}
+		if a.SoloTime != b.SoloTime {
+			add("app[%d] %s: solo time %d vs %d", i, a.Instance, a.SoloTime, b.SoloTime)
+		}
+		if fdiff(a.Slowdown, b.Slowdown) {
+			add("app[%d] %s: slowdown %x vs %x", i, a.Instance, a.Slowdown, b.Slowdown)
+		}
+		if a.RunTime != b.RunTime {
+			add("app[%d] %s: run time %d vs %d", i, a.Instance, a.RunTime, b.RunTime)
+		}
+		if fdiff(float64(a.MeanBusRate), float64(b.MeanBusRate)) {
+			add("app[%d] %s: mean bus rate %x vs %x", i, a.Instance, float64(a.MeanBusRate), float64(b.MeanBusRate))
+		}
+		if a.Transactions != b.Transactions {
+			add("app[%d] %s: transactions %d vs %d", i, a.Instance, a.Transactions, b.Transactions)
+		}
+	}
+	return d
+}
+
+// diffTimelines compares two sealed collectors window by window.
+func diffTimelines(q, e *timeline.Collector) []string {
+	var d []string
+	if sq, se := q.Sealed(), e.Sealed(); sq != se {
+		d = append(d, fmt.Sprintf("timeline sealed: %d vs %d", sq, se))
+	}
+	qw, ew := q.Windows(), e.Windows()
+	if len(qw) != len(ew) {
+		d = append(d, fmt.Sprintf("timeline windows: %d vs %d", len(qw), len(ew)))
+		return d
+	}
+	for i := range qw {
+		if qw[i] != ew[i] {
+			d = append(d, fmt.Sprintf("timeline window[%d]: %+v vs %+v", i, qw[i], ew[i]))
+		}
+	}
+	if qs, es := q.Summary(), e.Summary(); qs != es {
+		d = append(d, fmt.Sprintf("timeline summary: %+v vs %+v", qs, es))
+	}
+	return d
+}

@@ -60,6 +60,23 @@ type Config struct {
 	// crashes — so kernel baselines (Linux, RR) are unaffected except
 	// for counter-level faults, which they ignore anyway.
 	Faults faults.Config
+	// Engine selects the execution core: the classic quantum-stepped
+	// loop (the zero value, so existing callers are unchanged), the
+	// event-driven engine that leaps across constant stretches, or
+	// shadow mode, which runs both and diffs every result. See
+	// EngineKind.
+	Engine EngineKind
+	// SchedulerFactory, required for EngineShadow, builds a second
+	// scheduler configured identically to the one passed to Run. The
+	// shadow run drives the event engine with it so the authoritative
+	// scheduler's internal state (sample windows, rotation order, RNG)
+	// is never shared between the two cores.
+	SchedulerFactory func() (sched.Scheduler, error)
+	// ShadowDiffs, when non-nil under EngineShadow, receives one
+	// human-readable line per divergence between the two engines and
+	// Run returns normally; when nil, any divergence is returned as an
+	// error.
+	ShadowDiffs *[]string
 }
 
 // SampleMode selects the bandwidth estimator fed to the policies.
@@ -118,6 +135,11 @@ type Result struct {
 	MeanBusUtilization float64
 	// TimedOut reports the MaxTime guard fired before completion.
 	TimedOut bool
+	// LeaptQuanta counts quanta covered by event-engine leaps instead
+	// of stepped execution — always 0 under EngineQuantum. Engine
+	// metadata rather than simulation output, so shadow mode does not
+	// diff it.
+	LeaptQuanta int
 	// FaultStats counts the faults injected into the run (zero when
 	// Config.Faults is disabled).
 	FaultStats faults.Stats
@@ -138,10 +160,40 @@ func (r Result) MeanTurnaround() units.Time {
 	return sum / units.Time(len(r.Apps))
 }
 
+// appState wires one application to the scheduler (through a Job) and
+// to the CPU manager's sampling path (one perfctr monitor per thread).
+// The per-quantum fields are scratch reused across quanta so the
+// steady-state loop allocates nothing.
+type appState struct {
+	app      *workload.App
+	job      *sched.Job
+	monitors []*perfctr.Monitor
+	runTime  units.Time
+	trans    uint64
+
+	// Per-quantum scratch: how many of the app's threads ran, the
+	// contention-corrected demand they accumulated, and the
+	// control-fault flags. All reset before the next quantum.
+	ranThreads int
+	demandCum  float64
+	present    bool
+	lost       bool
+}
+
 // Run executes apps under s until every finite application completes.
 // Endless applications (the microbenchmarks) run for the duration and
 // are discarded at the end, exactly as the paper's workloads do.
 func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
+	if cfg.Engine == EngineShadow {
+		return runShadow(cfg, s, apps)
+	}
+	return run(cfg, s, apps)
+}
+
+// run is the simulation loop shared by both engines: EngineQuantum
+// steps every quantum; EngineEvent additionally leaps across stretches
+// proven constant (see engine.go).
+func run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 	if s == nil {
 		return Result{}, errors.New("sim: nil scheduler")
 	}
@@ -167,23 +219,6 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 
 	// Wire each application to the scheduler through a Job, and each
 	// thread to a perfctr monitor — the CPU manager's sampling path.
-	// The per-quantum fields are scratch reused across quanta so the
-	// steady-state loop allocates nothing.
-	type appState struct {
-		app      *workload.App
-		job      *sched.Job
-		monitors []*perfctr.Monitor
-		runTime  units.Time
-		trans    uint64
-
-		// Per-quantum scratch: how many of the app's threads ran, the
-		// contention-corrected demand they accumulated, and the
-		// control-fault flags. All reset before the next quantum.
-		ranThreads int
-		demandCum  float64
-		present    bool
-		lost       bool
-	}
 	states := make([]*appState, len(apps))
 	byApp := make(map[*workload.App]*appState, len(apps))
 	windowLen, ewmaAlpha := 1, 0.0
@@ -245,6 +280,21 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 	}
 	if remaining == 0 {
 		return Result{}, errors.New("sim: workload has no finite applications")
+	}
+
+	// The event engine may leap only when fault injection is off: every
+	// injector consultation draws from a seeded RNG, so skipping quanta
+	// would shift the draw sequence. This is also the documented
+	// degradation contract — fault runs step every quantum.
+	leapable := cfg.Engine == EngineEvent && inj == nil
+	var finite []*appState
+	var ls leapScratch
+	if leapable {
+		for _, st := range states {
+			if !st.app.Profile.Endless() {
+				finite = append(finite, st)
+			}
+		}
 	}
 
 	var utilSum float64
@@ -423,6 +473,24 @@ func Run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 				Faults:      int64(tot - prevFaults),
 			})
 			prevFaults = tot
+		}
+
+		// Event engine: the quantum just stepped is the probe that
+		// anchors a stretch. If the scheduler is provably stable, the
+		// machine state replayable and every bandwidth sample a
+		// fixed point, leap across the quanta that would repeat it
+		// bitwise; otherwise this falls through and the loop keeps
+		// stepping. Placed after the timeline record (the probe is
+		// already accounted) and before retirement (a leap ends at or
+		// before any completion, which the block below then handles).
+		if leapable {
+			if len(placements) > 0 && len(pending) == 0 && cfg.ManagerOverhead <= 0 && cfg.Trace == nil {
+				ls.tryLeap(&cfg, s, m, quantum, placements, states, byApp, finite, connected, admitted, &res, &utilSum)
+			} else if len(placements) == 0 && connected == 0 && len(pending) > 0 {
+				if err := leapIdle(&cfg, m, quantum, states, pending, &res); err != nil {
+					return Result{}, err
+				}
+			}
 		}
 
 		// Retire finished applications.

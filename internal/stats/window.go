@@ -82,6 +82,28 @@ func (w *Window) computeMean() float64 {
 	return w.sum / float64(w.n)
 }
 
+// Steady reports whether the window is full and every held sample is
+// bitwise identical, returning that value. A steady window is a fixed
+// point under Push of the same value: the buffer contents, length and
+// recomputed mean are all unchanged (only the write cursor rotates and
+// the incremental sum may drift, neither of which Mean reads at the
+// capacities the schedulers use). The event-driven simulation engine
+// uses this to prove a policy's estimate cannot move across a leap.
+// Windows larger than 64 samples fall back to the drifting incremental
+// sum in computeMean, so they are never reported steady.
+func (w *Window) Steady() (float64, bool) {
+	if w.n == 0 || w.n != len(w.buf) || w.n > 64 {
+		return 0, false
+	}
+	v := w.buf[0]
+	for _, x := range w.buf[1:] {
+		if x != v {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
 // Latest returns the most recently pushed sample, or 0 if empty.
 func (w *Window) Latest() float64 {
 	if w.n == 0 {

@@ -189,6 +189,14 @@ func (t *Thread) CurrentPhase() Phase {
 	return t.App.Profile.Phases[t.phaseIdx]
 }
 
+// PhasePos reports the thread's position in its cyclic phase list: the
+// current phase index and the solo-equivalent time consumed within it.
+// The event-driven engine uses it to bound leaps at phase boundaries
+// and to prove gang lockstep.
+func (t *Thread) PhasePos() (idx int, used float64) {
+	return t.phaseIdx, t.phaseUsed
+}
+
 // Demand returns the thread's instantaneous solo bus demand. While a
 // thread is repaying migration debt it runs at memory speed: demand is
 // dominated by the refill stream. A thread spin-waiting at a barrier
@@ -229,6 +237,12 @@ func (t *Thread) AtBarrier() bool {
 	}
 	return t.progress >= t.App.minProgress(t)+float64(interval)
 }
+
+// BarrierHeadroom returns how much further the thread may progress
+// before it would spin at a barrier, or +Inf without barriers — the
+// exported view of barrierCap the event-driven engine bounds leap
+// horizons with.
+func (t *Thread) BarrierHeadroom() float64 { return t.barrierCap() }
 
 // barrierCap returns how much further the thread may progress before
 // spinning, or +Inf without barriers.
@@ -279,9 +293,6 @@ func (t *Thread) Debt() float64 { return t.debt }
 // counters with the transactions issued at rate actualRate (the bus
 // grant) over wallUsec of wall-clock time.
 func (t *Thread) Advance(soloUsec float64, wallUsec float64, actualRate units.Rate) {
-	if soloUsec < 0 {
-		soloUsec = 0
-	}
 	// Counters reflect wall-clock activity.
 	t.Counters.Add(perfctr.EventCycles, uint64(wallUsec*CPUFrequencyMHz))
 	t.Counters.Add(perfctr.EventBusTransAny, uint64(float64(actualRate)*wallUsec))
@@ -292,7 +303,20 @@ func (t *Thread) Advance(soloUsec float64, wallUsec float64, actualRate units.Ra
 		t.Counters.Add(perfctr.EventL2Refs, uint64(refs))
 		t.Counters.Add(perfctr.EventL2Misses, uint64(trans))
 	}
+	t.AdvanceWork(soloUsec)
+}
 
+// AdvanceWork is the debt/barrier/progress/phase portion of Advance,
+// without the performance-counter updates. The event-driven simulation
+// engine replays constant stretches with it: counter increments batch
+// exactly across identical quanta (modular addition is associative),
+// but floating-point progress accumulation is not, so the engine
+// repeats precisely these operations micro-step by micro-step to stay
+// bit-identical with stepped execution.
+func (t *Thread) AdvanceWork(soloUsec float64) {
+	if soloUsec < 0 {
+		soloUsec = 0
+	}
 	// Debt repayment does not advance real progress.
 	if t.debt > 0 {
 		pay := math.Min(t.debt, soloUsec)
@@ -327,6 +351,44 @@ func (t *Thread) Advance(soloUsec float64, wallUsec float64, actualRate units.Ra
 	}
 }
 
+// ReplayAdvance is AdvanceWork's leap-replay fast path: one quantum's
+// micro-step advances, applied back to back. It performs the bitwise-
+// identical floating-point updates for a thread that owes no debt, has
+// not finished, and stays strictly inside its barrier headroom — the
+// preconditions the event engine's leap horizon establishes before
+// replaying a quantum. Skipping the debt, completion and barrier checks
+// (each a guaranteed no-op under those preconditions) removes the
+// sibling scans that would otherwise dominate replay cost, and batching
+// the whole quantum keeps progress and phase position in registers.
+// Batching across threads is sound because a replayed advance touches
+// only the thread's own state: per-thread float sequences are
+// independent, so the cross-thread interleaving of the stepped loop
+// does not affect any thread's operation order.
+func (t *Thread) ReplayAdvance(soloPerSub []float64) {
+	progress, used := t.progress, t.phaseUsed
+	phases := t.App.Profile.Phases
+	idx := t.phaseIdx
+	for _, s := range soloPerSub {
+		if s <= 0 {
+			continue
+		}
+		progress += s
+		used += s
+		for {
+			d := float64(phases[idx].Duration)
+			if used < d {
+				break
+			}
+			used -= d
+			idx++
+			if idx == len(phases) {
+				idx = 0
+			}
+		}
+	}
+	t.progress, t.phaseUsed, t.phaseIdx = progress, used, idx
+}
+
 // App is one running instance of a Profile.
 type App struct {
 	Profile  Profile
@@ -352,6 +414,18 @@ func NewApp(p Profile, instance string) *App {
 		a.Threads[i] = &Thread{App: a, Index: i}
 	}
 	return a
+}
+
+// CloneFresh returns a pristine copy of the app: same profile,
+// instance name and arrival time, with zeroed progress and counters —
+// exactly what NewApp would have produced for the same inputs.
+// Run-time state accumulated so far is deliberately not copied; the
+// shadow engine uses CloneFresh before any quantum has run to execute
+// the same workload on both simulation cores.
+func (a *App) CloneFresh() *App {
+	c := NewApp(a.Profile, a.Instance)
+	c.Arrived = a.Arrived
+	return c
 }
 
 // minProgress returns the smallest progress among the app's threads
