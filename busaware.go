@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"busaware/internal/machine"
+	"busaware/internal/scenario"
 	"busaware/internal/sched"
 	"busaware/internal/sim"
 	"busaware/internal/timeline"
@@ -66,6 +67,13 @@ type (
 	TimelineCollector = timeline.Collector
 	TimelineConfig    = timeline.Config
 	TimelineWindow    = timeline.Window
+	// LoadPattern is a time-varying load level (ramp/sine/spike/step
+	// segments, composable with "+"); ChurnSpec names a pattern plus a
+	// profile pool and seed, and ChurnSchedule is its materialized
+	// arrival/departure event list. See internal/scenario.
+	LoadPattern   = scenario.Pattern
+	ChurnSpec     = scenario.ChurnSpec
+	ChurnSchedule = scenario.Schedule
 )
 
 // Time units, re-exported for convenience.
@@ -220,6 +228,33 @@ func RunEngine(engine EngineKind, m MachineConfig, s Scheduler, newSched func() 
 func RunEngineTraced(engine EngineKind, m MachineConfig, s Scheduler, newSched func() (Scheduler, error), apps []*App) (Result, *Timeline, error) {
 	tl := &trace.Timeline{NumCPUs: m.NumCPUs}
 	res, err := sim.Run(sim.Config{Machine: m, Engine: engine, Trace: tl, SchedulerFactory: newSched}, s, apps)
+	return res, tl, err
+}
+
+// ParseLoadPattern parses the scenario grammar ("step:10s@4;
+// spike:10s@4..60; step:20s@4") or a preset name into a pattern.
+func ParseLoadPattern(s string) (*LoadPattern, error) { return scenario.ParsePattern(s) }
+
+// LoadPatternPresets lists the built-in pattern names (diurnal,
+// flashcrowd, stepstorm).
+func LoadPatternPresets() []string { return scenario.Presets() }
+
+// MaterializeChurn expands a churn spec into its deterministic
+// arrival/departure schedule: the same spec always yields the same
+// events, bit for bit.
+func MaterializeChurn(spec ChurnSpec) (*ChurnSchedule, error) { return scenario.Materialize(spec) }
+
+// RunScenario is RunEngine with a churn schedule overlaid: scenario
+// instances arrive and depart mid-run while the base apps run to
+// completion. A nil churn makes it identical to RunEngine.
+func RunScenario(engine EngineKind, m MachineConfig, s Scheduler, newSched func() (Scheduler, error), apps []*App, churn *ChurnSchedule) (Result, error) {
+	return sim.Run(sim.Config{Machine: m, Engine: engine, SchedulerFactory: newSched, Scenario: churn}, s, apps)
+}
+
+// RunScenarioTraced is RunScenario with schedule recording.
+func RunScenarioTraced(engine EngineKind, m MachineConfig, s Scheduler, newSched func() (Scheduler, error), apps []*App, churn *ChurnSchedule) (Result, *Timeline, error) {
+	tl := &trace.Timeline{NumCPUs: m.NumCPUs}
+	res, err := sim.Run(sim.Config{Machine: m, Engine: engine, Trace: tl, SchedulerFactory: newSched, Scenario: churn}, s, apps)
 	return res, tl, err
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling|robust|degr|servers|smt|timeline] [-engine quantum|event|shadow] [-csv] [-workers N] [-runstats] [-timelineout f] [-cpuprofile f] [-memprofile f]
+//	figures [-fig all|cal|hit|1a|1b|2a|2b|2c|ablw|ablq|ovh|zoo|sampling|robust|degr|servers|smt|timeline|churn] [-engine quantum|event|shadow] [-csv] [-workers N] [-runstats] [-timelineout f] [-cpuprofile f] [-memprofile f]
 //
 // -engine selects the simulation core: quantum is the stepped
 // reference loop, event leaps across constant stretches, and shadow
@@ -19,6 +19,11 @@
 // Linux baseline and the Quanta Window policy; -timelineout
 // additionally writes the windows as a machine-readable artifact (CSV
 // when the path ends in .csv, NDJSON otherwise).
+//
+// -fig churn runs the flash-crowd churn study: scenario jobs arrive
+// and depart mid-run while a resident BT pair completes, and the table
+// reports how well each policy protected the base apps' turnaround.
+// Like timeline, churn is an extension artifact outside -fig all.
 package main
 
 import (
@@ -35,7 +40,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which artifact to regenerate: all, cal, hit, 1a, 1b, 2a, 2b, 2c, ablw, ablq, ovh, zoo, sampling, robust, degr, servers, smt, timeline (not part of all)")
+	fig := flag.String("fig", "all", "which artifact to regenerate: all, cal, hit, 1a, 1b, 2a, 2b, 2c, ablw, ablq, ovh, zoo, sampling, robust, degr, servers, smt, timeline, churn (timeline and churn are not part of all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	app := flag.String("app", "BT", "application for the scheduler-zoo comparison")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
@@ -115,10 +120,11 @@ func run(fig, engine string, csv bool, app string, workers int, runstats bool, t
 		"servers":  func() error { return servers(opt, emit) },
 		"smt":      func() error { return smt(opt, emit) },
 		"timeline": func() error { return timelineFigure(emit, timelineOut) },
+		"churn":    func() error { return churnFigure(opt, emit) },
 	}
-	// "timeline" is deliberately outside the all-order: it is an
-	// observability artifact, not a paper figure, and keeping it out
-	// preserves -fig all output byte-for-byte.
+	// "timeline" and "churn" are deliberately outside the all-order:
+	// they are extension artifacts, not paper figures, and keeping them
+	// out preserves -fig all output byte-for-byte.
 	order := []string{"cal", "hit", "1a", "1b", "2a", "2b", "2c", "ablw", "ablq", "ovh", "zoo", "sampling", "robust", "degr", "servers", "smt"}
 
 	// timed wraps one figure so -runstats can report per-figure wall
@@ -141,7 +147,7 @@ func run(fig, engine string, csv bool, app string, workers int, runstats bool, t
 	}
 	f, ok := figs[which]
 	if !ok {
-		return fmt.Errorf("unknown figure %q (want one of: all %s timeline)", which, strings.Join(order, " "))
+		return fmt.Errorf("unknown figure %q (want one of: all %s timeline churn)", which, strings.Join(order, " "))
 	}
 	return timed(which, f)
 }
@@ -446,6 +452,22 @@ func smt(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
 		"Policy", "SMT off", "SMT on (2x work)", "Speedup %")
 	for _, r := range rows {
 		t.AddRowf(r.Policy, r.SMTOff.String(), r.SMTOn.String(), r.SpeedupPercent)
+	}
+	emit(t)
+	return nil
+}
+
+func churnFigure(opt busaware.ExperimentOptions, emit func(*report.Table)) error {
+	rows, err := busaware.RunChurnStudy(opt)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Flash-crowd churn: BT pair under mid-run scenario arrivals (base-app turnaround)",
+		"Policy", "Base turnaround", "Arrivals", "Departures", "Completed", "Impr vs Linux %")
+	for _, r := range rows {
+		t.AddRowf(r.Policy, r.BaseTurnaround.String(),
+			fmt.Sprint(r.Arrivals), fmt.Sprint(r.Departures), fmt.Sprint(r.Completed),
+			r.ImprovementVsLinux)
 	}
 	emit(t)
 	return nil

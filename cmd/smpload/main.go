@@ -34,6 +34,15 @@
 // a bus-saturated telemetry window. Against a gateway the merged stream
 // covers every backend.
 //
+// -scenario switches the driver to open-loop: arrivals follow a
+// time-varying load pattern (internal/scenario grammar, e.g.
+// "flashcrowd" or "step:10s@4; spike:10s@4..60; step:20s@4") scaled by
+// -rate, issued at their planned offsets whether or not earlier
+// responses returned. The summary gains a scenario section with
+// achieved-vs-target rate, a schedule digest for rerun-identity
+// checks, and a per-phase latency/shed breakdown; see openloop.go.
+// -scenario-profiles points at a YAML file of named patterns.
+//
 // -targets spreads the closed-loop clients across several base URLs
 // (smpsimd backends, or smpgw gateways) round-robin by client; byte
 // identity is still enforced globally, so any divergence between
@@ -68,6 +77,7 @@ import (
 	"time"
 
 	"busaware/internal/digest"
+	"busaware/internal/scenario"
 )
 
 type mixEntry struct {
@@ -118,6 +128,11 @@ type result struct {
 	// digest) did not match the bytes received — corruption in flight
 	// that every upstream integrity check missed.
 	badDigest bool
+	// phase and late are open-loop bookkeeping (-scenario): which
+	// pattern phase the arrival belonged to, and whether it was issued
+	// more than lateSlack behind its planned deadline.
+	phase int
+	late  bool
 }
 
 // Summary is the JSON artifact smpload emits.
@@ -154,6 +169,10 @@ type Summary struct {
 	// telemetry windows streamed during the run (-timeline; absent when
 	// disabled or the feed was unreachable).
 	Timeline *TimelineCorrelation `json:"timeline,omitempty"`
+	// Scenario is the open-loop section (-scenario; absent in
+	// closed-loop runs): rate conformance, the schedule digest, and
+	// the per-phase latency/shed breakdown.
+	Scenario *ScenarioSummary `json:"scenario,omitempty"`
 }
 
 // Percentiles summarizes a latency distribution in milliseconds.
@@ -179,17 +198,43 @@ func main() {
 	out := flag.String("out", "", "write the JSON summary to this file as well as stdout")
 	strict := flag.Bool("strict", false, "also fail on any non-200 (including 429s)")
 	timeline := flag.Bool("timeline", false, "stream the first target's /v1/timeline during the run and correlate p99 latency spikes with bus-saturated windows")
+	scenarioPat := flag.String("scenario", "", "open-loop mode: drive arrivals from this load pattern or preset (internal/scenario grammar) instead of closed-loop clients; -requests and -sweep are ignored")
+	scenarioProfiles := flag.String("scenario-profiles", "", "YAML profile file defining named patterns usable in -scenario")
+	rate := flag.Float64("rate", 1, "open-loop only: scale applied to the pattern's level (level x rate = requests/sec)")
 	flag.Parse()
 
 	entries, err := buildMix(*mix, *policies, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	if *clients < 1 || *requests < 1 {
-		fatal(fmt.Errorf("need at least one client and one request"))
+	if *clients < 1 {
+		fatal(fmt.Errorf("need at least one client"))
+	}
+	if *requests < 1 && *scenarioPat == "" {
+		fatal(fmt.Errorf("need at least one request"))
 	}
 	if *spread < 1 {
 		fatal(fmt.Errorf("-spread must be >= 1"))
+	}
+	var pat *scenario.Pattern
+	if *scenarioPat != "" {
+		if *sweep > 1 {
+			fatal(fmt.Errorf("-sweep and -scenario are mutually exclusive"))
+		}
+		if *rate <= 0 {
+			fatal(fmt.Errorf("-rate must be > 0"))
+		}
+		var profiles map[string]string
+		if *scenarioProfiles != "" {
+			if profiles, err = scenario.LoadProfiles(*scenarioProfiles); err != nil {
+				fatal(err)
+			}
+		}
+		if pat, err = scenario.ParsePatternWith(*scenarioPat, profiles); err != nil {
+			fatal(err)
+		}
+	} else if *scenarioProfiles != "" {
+		fatal(fmt.Errorf("-scenario-profiles requires -scenario"))
 	}
 	bases := []string{*addr}
 	if *targets != "" {
@@ -227,58 +272,74 @@ func main() {
 		}
 	}
 
-	results := make([]result, *requests)
-	batch := 1
-	if *sweep > 1 {
-		batch = *sweep
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	var results []result
+	var plan []arrival
 	start := time.Now()
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			base := bases[c%len(bases)]
-			for {
-				// Claim the next cell (or, in sweep mode, the next
-				// contiguous block of cells) from the shared stream.
-				mu.Lock()
-				lo := next
-				if lo >= len(results) {
+	if pat != nil {
+		// Open-loop: the pattern plans the schedule; -requests is the
+		// pattern's business, not a flag.
+		if plan, err = planArrivals(pat, *rate, len(entries), *spread); err != nil {
+			fatal(err)
+		}
+		results = runOpenLoop(httpc, bases, entries, plan, *clients, start)
+	} else {
+		results = make([]result, *requests)
+		batch := 1
+		if *sweep > 1 {
+			batch = *sweep
+		}
+		var next int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				base := bases[c%len(bases)]
+				for {
+					// Claim the next cell (or, in sweep mode, the next
+					// contiguous block of cells) from the shared stream.
+					mu.Lock()
+					lo := next
+					if lo >= len(results) {
+						mu.Unlock()
+						return
+					}
+					hi := lo + batch
+					if hi > len(results) {
+						hi = len(results)
+					}
+					next = hi
 					mu.Unlock()
-					return
+					// Deterministic request mix: the i-th cell overall
+					// always targets the same entry and seed variant, so a
+					// rerun offers the identical request stream.
+					if *sweep > 1 {
+						issueSweep(httpc, base, entries, *spread, lo, hi, results)
+						continue
+					}
+					e := entries[lo%len(entries)]
+					variant := int64(lo/len(entries)) % *spread
+					results[lo] = issue(httpc, base, e, lo%len(entries), variant)
 				}
-				hi := lo + batch
-				if hi > len(results) {
-					hi = len(results)
-				}
-				next = hi
-				mu.Unlock()
-				// Deterministic request mix: the i-th cell overall
-				// always targets the same entry and seed variant, so a
-				// rerun offers the identical request stream.
-				if *sweep > 1 {
-					issueSweep(httpc, base, entries, *spread, lo, hi, results)
-					continue
-				}
-				e := entries[lo%len(entries)]
-				variant := int64(lo/len(entries)) % *spread
-				results[lo] = issue(httpc, base, e, lo%len(entries), variant)
-			}
-		}(c)
+			}(c)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	elapsed := time.Since(start)
 
 	s := summarize(results, entries, *clients, elapsed)
 	s.Targets = bases
+	var events []timelineEvent
 	if watcher != nil {
 		// A short grace period lets windows sealed by the final cells
 		// reach the subscriber before the stream is cut.
 		time.Sleep(200 * time.Millisecond)
-		s.Timeline = correlate(results, watcher.stop(), s.LatencyMs.P99)
+		events = watcher.stop()
+		s.Timeline = correlate(results, events, s.LatencyMs.P99)
+	}
+	if pat != nil {
+		s.Scenario = buildScenarioSummary(pat, *rate, plan, results, start, events)
 	}
 	body, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {

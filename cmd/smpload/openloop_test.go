@@ -1,0 +1,157 @@
+package main
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"busaware/internal/scenario"
+	"busaware/internal/units"
+)
+
+func pattern(t *testing.T, s string) *scenario.Pattern {
+	t.Helper()
+	p, err := scenario.ParsePattern(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPlanArrivalsDeterministic pins the rerun contract behind the CI
+// schedule-digest assert: the same pattern, rate, mix size and spread
+// must plan the identical schedule, bit for bit.
+func TestPlanArrivalsDeterministic(t *testing.T) {
+	pat := pattern(t, "flashcrowd")
+	a, err := planArrivals(pat, 1, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := planArrivals(pat, 1, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same inputs planned different schedules")
+	}
+	if scheduleDigest(a) != scheduleDigest(b) {
+		t.Fatal("identical plans digest differently")
+	}
+	// A different rate must change the digest (more arrivals).
+	c, err := planArrivals(pat, 2, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheduleDigest(a) == scheduleDigest(c) {
+		t.Fatal("rate change did not change the schedule digest")
+	}
+}
+
+// TestPlanArrivalsSpikeVariants pins the phase-aware cache-busting
+// scheme: variant 0 everywhere except inside spike segments, where
+// arrivals rotate over 1..spread.
+func TestPlanArrivalsSpikeVariants(t *testing.T) {
+	pat := pattern(t, "step:2s@5; spike:2s@5..40; step:2s@5")
+	plan, err := planArrivals(pat, 1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := pat.Phases()
+	var spike, steady int
+	seen := map[int64]bool{}
+	for _, a := range plan {
+		if phases[a.phase].Kind == scenario.SegSpike {
+			spike++
+			if a.variant < 1 || a.variant > 4 {
+				t.Fatalf("spike arrival variant = %d, want 1..4", a.variant)
+			}
+			seen[a.variant] = true
+		} else {
+			steady++
+			if a.variant != 0 {
+				t.Fatalf("steady arrival variant = %d, want 0", a.variant)
+			}
+		}
+	}
+	if spike == 0 || steady == 0 {
+		t.Fatalf("degenerate plan: %d spike / %d steady arrivals", spike, steady)
+	}
+	// The spike averages ~22.5 rps for 2s — easily enough arrivals to
+	// cycle all four variants.
+	if len(seen) != 4 {
+		t.Errorf("spike used %d distinct variants, want 4", len(seen))
+	}
+	// Entries round-robin over the whole plan.
+	if plan[0].entry != 0 || plan[1].entry != 1 || plan[2].entry != 0 {
+		t.Errorf("entries not round-robin: %d %d %d", plan[0].entry, plan[1].entry, plan[2].entry)
+	}
+}
+
+func TestPlanArrivalsEmpty(t *testing.T) {
+	if _, err := planArrivals(pattern(t, "step:1s@0"), 1, 1, 1); err == nil {
+		t.Fatal("zero-arrival pattern accepted")
+	}
+}
+
+// TestBuildScenarioSummaryPhases drives the per-phase bucketing with a
+// synthetic result set: phase 0 all cache-hit 200s, phase 1 split
+// 200/429, one saturated window published mid-spike.
+func TestBuildScenarioSummaryPhases(t *testing.T) {
+	pat := pattern(t, "step:2s@1; spike:2s@1..10; step:2s@1")
+	start := time.Unix(1000, 0)
+	plan := []arrival{
+		{at: 0, phase: 0}, {at: units.Second, phase: 0},
+		{at: 2*units.Second + 1, phase: 1}, {at: 3 * units.Second, phase: 1},
+	}
+	mk := func(phase int, code int, at units.Time, lat time.Duration, hit bool) result {
+		issued := start.Add(time.Duration(at) * time.Microsecond)
+		return result{code: code, latency: lat, done: issued.Add(lat), phase: phase, hit: hit}
+	}
+	results := []result{
+		mk(0, http.StatusOK, 0, 5*time.Millisecond, true),
+		mk(0, http.StatusOK, units.Second, 7*time.Millisecond, true),
+		mk(1, http.StatusOK, 2*units.Second+1, 40*time.Millisecond, false),
+		mk(1, http.StatusTooManyRequests, 3*units.Second, time.Millisecond, false),
+	}
+	events := []timelineEvent{
+		{WallMs: start.UnixMilli() + 3000}, // unsaturated: ignored
+		{WallMs: start.UnixMilli() + 3000, Window: struct {
+			Quanta    int64   `json:"quanta"`
+			UtilSum   float64 `json:"util_sum"`
+			Saturated int64   `json:"saturated"`
+		}{Saturated: 2}},
+	}
+	ss := buildScenarioSummary(pat, 1, plan, results, start, events)
+	if len(ss.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(ss.Phases))
+	}
+	p0, p1, p2 := ss.Phases[0], ss.Phases[1], ss.Phases[2]
+	if p0.Arrivals != 2 || p0.OK != 2 || p0.CacheHits != 2 || p0.Shed != 0 {
+		t.Errorf("phase 0 = %+v, want 2 cache-hit OKs", p0)
+	}
+	if p1.Arrivals != 2 || p1.OK != 1 || p1.Shed != 1 {
+		t.Errorf("phase 1 = %+v, want 1 OK + 1 shed", p1)
+	}
+	if p2.Arrivals != 0 {
+		t.Errorf("phase 2 arrivals = %d, want 0", p2.Arrivals)
+	}
+	if p1.SaturatedWindows != 1 || p0.SaturatedWindows != 0 || p2.SaturatedWindows != 0 {
+		t.Errorf("saturated windows = %d/%d/%d, want 0/1/0",
+			p0.SaturatedWindows, p1.SaturatedWindows, p2.SaturatedWindows)
+	}
+	if p1.LatencyMs.P50 != 40 {
+		t.Errorf("phase 1 p50 = %v, want 40ms", p1.LatencyMs.P50)
+	}
+	if ss.PlannedArrivals != 4 || ss.ScheduleDigest == "" {
+		t.Errorf("summary header = %+v", ss)
+	}
+	// 4 arrivals over a 6s pattern.
+	if ss.TargetRPS < 0.66 || ss.TargetRPS > 0.67 {
+		t.Errorf("target rps = %v, want ~0.667", ss.TargetRPS)
+	}
+	// Last issuance at 3s into the run → achieved ≈ 4/3 rps.
+	if ss.AchievedRPS < 1.3 || ss.AchievedRPS > 1.4 {
+		t.Errorf("achieved rps = %v, want ~1.33", ss.AchievedRPS)
+	}
+}

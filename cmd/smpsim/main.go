@@ -8,6 +8,7 @@
 //	smpsim -policy linux -seed 7 -apps "Raytrace x2, nBBMA x4" -v
 //	smpsim -json -apps "CG x2, BBMA x4"     # smpsimd response schema
 //	smpsim -engine shadow -apps "CG x2, BBMA x4"   # verify event vs quantum
+//	smpsim -apps "Barnes" -scenario flashcrowd -scenario-seed 7 -v
 //
 // The -apps grammar is a comma-separated list of "<name> [xN]" items;
 // names come from the registry (the eleven paper applications, BBMA,
@@ -39,6 +40,9 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print an ASCII schedule timeline (with -json: embed the Chrome trace)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing)")
 	jsonOut := flag.Bool("json", false, "emit the POST /v1/simulate response schema instead of tables")
+	scenarioPat := flag.String("scenario", "", "churn scenario: load pattern or preset ("+strings.Join(busaware.LoadPatternPresets(), ", ")+") governing mid-run arrivals and departures")
+	scenarioPool := flag.String("scenario-pool", "", "profile pool scenario arrivals draw from (default: the scenario package's pool)")
+	scenarioSeed := flag.Int64("scenario-seed", 0, "seed for the scenario's pool draws")
 	flag.Parse()
 
 	apps, err := busaware.ParseApps(*appsSpec)
@@ -62,12 +66,23 @@ func main() {
 	newSched := func() (busaware.Scheduler, error) {
 		return busaware.NewScheduler(*policy, m, *seed)
 	}
+	var churn *busaware.ChurnSchedule
+	if *scenarioPat != "" {
+		churn, err = busaware.MaterializeChurn(busaware.ChurnSpec{
+			Pattern: *scenarioPat, Pool: *scenarioPool, Seed: *scenarioSeed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	} else if *scenarioPool != "" || *scenarioSeed != 0 {
+		fatal(fmt.Errorf("-scenario-pool and -scenario-seed require -scenario"))
+	}
 	var res busaware.Result
 	var tl *busaware.Timeline
 	if *timeline || *traceOut != "" {
-		res, tl, err = busaware.RunEngineTraced(engine, m, s, newSched, apps)
+		res, tl, err = busaware.RunScenarioTraced(engine, m, s, newSched, apps, churn)
 	} else {
-		res, err = busaware.RunEngine(engine, m, s, newSched, apps)
+		res, err = busaware.RunScenario(engine, m, s, newSched, apps, churn)
 	}
 	if err != nil {
 		fatal(err)
@@ -129,6 +144,11 @@ func main() {
 		v.AddRowf("Context switches", fmt.Sprint(res.ContextSwitches))
 		v.AddRowf("Mean bus utilization", res.MeanBusUtilization)
 		v.AddRowf("Mean turnaround", res.MeanTurnaround().String())
+		if churn != nil {
+			v.AddRowf("Scenario arrivals", fmt.Sprint(res.ScenarioArrivals))
+			v.AddRowf("Scenario departures", fmt.Sprint(res.ScenarioDepartures))
+			v.AddRowf("Scenario completed", fmt.Sprint(res.ScenarioCompleted))
+		}
 		fmt.Println(v.String())
 	}
 }

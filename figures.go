@@ -55,6 +55,9 @@ type (
 	// SMTRow compares hyperthreading off/on under one policy
 	// (extension).
 	SMTRow = experiments.SMTRow
+	// ChurnRow is one policy's outcome under the flash-crowd churn
+	// scenario (extension).
+	ChurnRow = experiments.ChurnRow
 )
 
 // Run-level metrics types of the parallel experiment runner; see
@@ -175,4 +178,11 @@ func RunServerWorkloads(opt ExperimentOptions) ([]ServerRow, error) {
 // Quanta Window — the paper's "multithreading processors" future work.
 func RunSMTStudy(opt ExperimentOptions) ([]SMTRow, error) {
 	return experiments.SMTStudy(opt)
+}
+
+// RunChurnStudy subjects each policy to the same mid-run flash crowd
+// (scenario churn over a resident BT pair) and reports how well the
+// base apps' turnaround was protected. See experiments.ChurnPattern.
+func RunChurnStudy(opt ExperimentOptions) ([]ChurnRow, error) {
+	return experiments.ChurnStudy(opt)
 }

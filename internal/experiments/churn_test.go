@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+// TestChurnStudyShape pins the study's structure and the direction of
+// its headline: identical churn for every policy, and the
+// bandwidth-aware policies protecting the base apps at least as well
+// as the Linux baseline.
+func TestChurnStudyShape(t *testing.T) {
+	rows, err := ChurnStudy(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want Linux/LQ/QW", len(rows))
+	}
+	linux := rows[0]
+	if linux.Policy != "Linux" || linux.ImprovementVsLinux != 0 {
+		t.Fatalf("row 0 = %+v, want the Linux baseline at 0%%", linux)
+	}
+	for _, r := range rows {
+		// The schedule is materialized once and shared, so the churn a
+		// policy faces cannot vary: every arrival must also retire
+		// (departure or natural completion) before the run ends.
+		if r.Arrivals != linux.Arrivals {
+			t.Errorf("%s saw %d arrivals, Linux saw %d — schedules diverged",
+				r.Policy, r.Arrivals, linux.Arrivals)
+		}
+		if r.Arrivals == 0 {
+			t.Errorf("%s: no churn arrivals — the scenario was inert", r.Policy)
+		}
+		if got := r.Departures + r.Completed; got != r.Arrivals {
+			t.Errorf("%s: %d departures + %d completed != %d arrivals",
+				r.Policy, r.Departures, r.Completed, r.Arrivals)
+		}
+		if r.BaseTurnaround <= 0 {
+			t.Errorf("%s: base turnaround = %v", r.Policy, r.BaseTurnaround)
+		}
+	}
+	// The paper's claim carried over: under churn, the bus-aware
+	// policies must not do worse than Linux on the resident workload.
+	for _, r := range rows[1:] {
+		if r.ImprovementVsLinux < 0 {
+			t.Errorf("%s improvement = %.2f%%, want >= 0", r.Policy, r.ImprovementVsLinux)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"testing"
+
+	"busaware/internal/units"
+)
+
+// FuzzParsePattern asserts the parser's total-function contract: any
+// input either errors or yields a pattern whose canonical form is a
+// parseable fixed point with finite, bounded evaluation. Run in CI's
+// fuzz-smoke job.
+func FuzzParsePattern(f *testing.F) {
+	seeds := []string{
+		"step:10s@4",
+		"ramp:10s@2..12; spike:5s@1..9",
+		"sine:60s@10~8/20s + step:5s@1",
+		"diurnal", "flashcrowd", "stepstorm",
+		"step:10s@4 +", "warp:1s@1", "step:@", "sine:1s@1~", "",
+		"step:1s@1e9", "ramp:9999h@0..1", "step:1ns@1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParsePattern(in)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		p2, err := ParsePattern(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, in, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, got)
+		}
+		dur := p.Duration()
+		if dur < 0 {
+			t.Fatalf("negative duration %v from %q", dur, in)
+		}
+		for _, at := range []units.Time{0, dur / 3, dur, dur * 2} {
+			v := p.Level(at)
+			if v < 0 || v != v {
+				t.Fatalf("Level(%v) = %v from %q", at, v, in)
+			}
+			if a, b := v, p2.Level(at); a != b {
+				t.Fatalf("round-trip changes Level(%v): %v vs %v (input %q)", at, a, b, in)
+			}
+		}
+	})
+}

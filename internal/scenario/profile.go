@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Profile files name reusable patterns in a YAML subset (the module is
+// dependency-free, so this is a hand-rolled line parser, not a YAML
+// library — the subset below is the whole contract):
+//
+//	# comments and blank lines are ignored
+//	profiles:
+//	  - name: morning-rush
+//	    pattern: "ramp:30s@2..40; step:20s@40"
+//	  - name: overnight
+//	    pattern: step:60s@2
+//
+// One top-level "profiles:" list; each entry is a "- " item with
+// exactly the keys "name" and "pattern" (either order, name first by
+// convention); values may be double- or single-quoted. Anything
+// else — tabs, nested maps, flow syntax, unknown keys — is an error,
+// loudly, rather than a silent misparse.
+
+// LoadProfiles reads a profile file (see the format above) and returns
+// the name -> pattern table for ParsePatternWith. Every pattern is
+// validated at load time.
+func LoadProfiles(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ParseProfiles(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// ParseProfiles parses the profile format from r. See LoadProfiles.
+func ParseProfiles(r io.Reader) (map[string]string, error) {
+	profiles := map[string]string{}
+	var (
+		inList  bool
+		name    string
+		pattern string
+		haveAny bool
+	)
+	flush := func(line int) error {
+		if !haveAny {
+			return nil
+		}
+		if name == "" {
+			return fmt.Errorf("scenario: profiles: entry before line %d has no name", line)
+		}
+		if pattern == "" {
+			return fmt.Errorf("scenario: profiles: profile %q has no pattern", name)
+		}
+		if _, dup := profiles[name]; dup {
+			return fmt.Errorf("scenario: profiles: duplicate profile %q", name)
+		}
+		if _, err := ParsePattern(pattern); err != nil {
+			return fmt.Errorf("scenario: profiles: profile %q: %w", name, err)
+		}
+		profiles[name] = pattern
+		name, pattern, haveAny = "", "", false
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.Contains(line, "\t") {
+			return nil, fmt.Errorf("scenario: profiles: line %d: tabs are not allowed (use spaces)", lineNo)
+		}
+		if i := strings.IndexByte(line, '#'); i >= 0 && !insideQuote(line, i) {
+			line = line[:i]
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		switch {
+		case trimmed == "profiles:":
+			if inList {
+				return nil, fmt.Errorf("scenario: profiles: line %d: duplicate 'profiles:' key", lineNo)
+			}
+			inList = true
+		case strings.HasPrefix(trimmed, "- "):
+			if !inList {
+				return nil, fmt.Errorf("scenario: profiles: line %d: list item before 'profiles:' key", lineNo)
+			}
+			if err := flush(lineNo); err != nil {
+				return nil, err
+			}
+			haveAny = true
+			if err := setKV(strings.TrimPrefix(trimmed, "- "), &name, &pattern, lineNo); err != nil {
+				return nil, err
+			}
+		case inList && haveAny:
+			if err := setKV(trimmed, &name, &pattern, lineNo); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("scenario: profiles: line %d: unexpected %q", lineNo, trimmed)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(lineNo + 1); err != nil {
+		return nil, err
+	}
+	if !inList {
+		return nil, fmt.Errorf("scenario: profiles: missing 'profiles:' key")
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("scenario: profiles: empty profile list")
+	}
+	return profiles, nil
+}
+
+func setKV(s string, name, pattern *string, lineNo int) error {
+	key, val, ok := strings.Cut(s, ":")
+	if !ok {
+		return fmt.Errorf("scenario: profiles: line %d: want 'key: value', got %q", lineNo, s)
+	}
+	key = strings.TrimSpace(key)
+	val = unquote(strings.TrimSpace(val))
+	switch key {
+	case "name":
+		if *name != "" {
+			return fmt.Errorf("scenario: profiles: line %d: duplicate 'name'", lineNo)
+		}
+		if val == "" {
+			return fmt.Errorf("scenario: profiles: line %d: empty name", lineNo)
+		}
+		*name = val
+	case "pattern":
+		if *pattern != "" {
+			return fmt.Errorf("scenario: profiles: line %d: duplicate 'pattern'", lineNo)
+		}
+		if val == "" {
+			return fmt.Errorf("scenario: profiles: line %d: empty pattern", lineNo)
+		}
+		*pattern = val
+	default:
+		return fmt.Errorf("scenario: profiles: line %d: unknown key %q (want name or pattern)", lineNo, key)
+	}
+	return nil
+}
+
+// unquote strips one pair of matched surrounding quotes. (Values keep
+// any interior colons: setKV cuts the line at its first ':', which
+// lies in the key, so "pattern: step:10s@4" parses intact.)
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+func insideQuote(line string, idx int) bool {
+	inD, inS := false, false
+	for i, r := range line {
+		if i >= idx {
+			break
+		}
+		switch r {
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		}
+	}
+	return inD || inS
+}

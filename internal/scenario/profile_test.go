@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseProfiles(t *testing.T) {
+	const doc = `# scenario profiles
+profiles:
+  - name: morning-rush
+    pattern: "ramp:30s@2..40; step:20s@40"
+  - name: overnight
+    pattern: step:60s@2
+  - pattern: 'spike:10s@1..50'
+    name: burst
+`
+	m, err := ParseProfiles(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("profiles = %d, want 3", len(m))
+	}
+	if m["morning-rush"] != "ramp:30s@2..40; step:20s@40" {
+		t.Fatalf("morning-rush = %q", m["morning-rush"])
+	}
+	if m["burst"] != "spike:10s@1..50" {
+		t.Fatalf("burst = %q", m["burst"])
+	}
+	// The loaded table plugs straight into the pattern parser.
+	p, err := ParsePatternWith("overnight + burst", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.String(), "step:60s@2 + spike:10s@1..50"; got != want {
+		t.Fatalf("composed = %q, want %q", got, want)
+	}
+}
+
+func TestParseProfilesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"empty file", "", "missing 'profiles:'"},
+		{"comment only", "# nothing here\n", "missing 'profiles:'"},
+		{"empty list", "profiles:\n", "empty profile list"},
+		{"item before key", "- name: a\n", "list item before"},
+		{"no name", "profiles:\n  - pattern: step:1s@1\n", "has no name"},
+		{"no pattern", "profiles:\n  - name: a\n", "has no pattern"},
+		{"bad pattern", "profiles:\n  - name: a\n    pattern: warp:1s@1\n", "unknown kind"},
+		{"unknown key", "profiles:\n  - name: a\n    rate: 4\n", "unknown key"},
+		{"duplicate name key", "profiles:\n  - name: a\n    name: b\n", "duplicate 'name'"},
+		{"duplicate profile", "profiles:\n  - name: a\n    pattern: step:1s@1\n  - name: a\n    pattern: step:1s@2\n", "duplicate profile"},
+		{"tab indentation", "profiles:\n\t- name: a\n", "tabs are not allowed"},
+		{"stray line", "profiles:\nwhat is this\n", "unexpected"},
+		{"duplicate profiles key", "profiles:\nprofiles:\n", "duplicate 'profiles:'"},
+		{"keyless line", "profiles:\n  - name: a\n    just-words\n", "want 'key: value'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseProfiles(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadProfiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenarios.yaml")
+	if err := os.WriteFile(path, []byte("profiles:\n  - name: quiet\n    pattern: step:30s@2 # calm baseline\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadProfiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["quiet"] != "step:30s@2" {
+		t.Fatalf("quiet = %q (comment not stripped?)", m["quiet"])
+	}
+	if _, err := LoadProfiles(filepath.Join(t.TempDir(), "missing.yaml")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"busaware/internal/units"
+)
+
+func TestMaterializeDeterministic(t *testing.T) {
+	spec := ChurnSpec{Pattern: "flashcrowd", Pool: "CG x2, BBMA", Seed: 7}
+	a, err := Materialize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Materialize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec produced different schedules")
+	}
+	// A different seed draws a different profile sequence (flashcrowd
+	// arrives dozens of instances; identical draws would be a frozen
+	// RNG).
+	c, err := Materialize(ChurnSpec{Pattern: "flashcrowd", Pool: "CG x2, BBMA", Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestMaterializeCanonicalizesSpec(t *testing.T) {
+	a, err := Materialize(ChurnSpec{Pattern: "diurnal", Pool: "CG, CG"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spec.Pattern != "sine:60s@10~8" {
+		t.Fatalf("canonical pattern = %q", a.Spec.Pattern)
+	}
+	if a.Spec.Pool != "CG x2" {
+		t.Fatalf("canonical pool = %q", a.Spec.Pool)
+	}
+	if a.Spec.TickUsec != int64(DefaultTick) {
+		t.Fatalf("canonical tick = %d", a.Spec.TickUsec)
+	}
+	want := "pat=sine:60s@10~8|pool=CG x2|seed=0|tick=1000000"
+	if got := a.Spec.Canonical(); got != want {
+		t.Fatalf("Canonical() = %q, want %q", got, want)
+	}
+}
+
+func TestMaterializePopulationTracksPattern(t *testing.T) {
+	// step:3s@2; step:3s@5; step:3s@1 with 1s ticks: population must
+	// hit 2, rise to 5, fall to 1, then drain to 0 at the horizon.
+	sched, err := Materialize(ChurnSpec{Pattern: "step:3s@2; step:3s@5; step:3s@1", Pool: "CG", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]bool{}
+	pop := map[units.Time]int{}
+	for _, e := range sched.Events {
+		switch e.Kind {
+		case EventArrive:
+			if live[e.Instance] {
+				t.Fatalf("instance %q arrived twice", e.Instance)
+			}
+			live[e.Instance] = true
+		case EventDepart:
+			if !live[e.Instance] {
+				t.Fatalf("instance %q departed without arriving", e.Instance)
+			}
+			delete(live, e.Instance)
+		}
+		pop[e.At] = len(live)
+	}
+	if len(live) != 0 {
+		t.Fatalf("%d instances never drained", len(live))
+	}
+	for _, tc := range []struct {
+		at   units.Time
+		want int
+	}{
+		{0, 2}, {3 * units.Second, 5}, {6 * units.Second, 1},
+	} {
+		if got := pop[tc.at]; got != tc.want {
+			t.Fatalf("population after tick %v = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+	if got := pop[sched.Horizon]; got != 0 {
+		t.Fatalf("population at horizon = %d, want 0 (drain)", got)
+	}
+	if sched.Horizon != 9*units.Second {
+		t.Fatalf("horizon = %v, want 9s", sched.Horizon)
+	}
+}
+
+func TestMaterializeDeparturesAreLIFO(t *testing.T) {
+	sched, err := Materialize(ChurnSpec{Pattern: "step:2s@3; step:2s@1", Pool: "CG", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrived []string
+	for _, e := range sched.Events {
+		switch e.Kind {
+		case EventArrive:
+			arrived = append(arrived, e.Instance)
+		case EventDepart:
+			if len(arrived) == 0 {
+				t.Fatal("departure before any arrival")
+			}
+			// Youngest-first: the departing instance is the most recent
+			// arrival still live.
+			last := arrived[len(arrived)-1]
+			if e.Instance != last {
+				t.Fatalf("depart %q, want youngest %q", e.Instance, last)
+			}
+			arrived = arrived[:len(arrived)-1]
+		}
+	}
+}
+
+func TestMaterializeEventsSorted(t *testing.T) {
+	sched, err := Materialize(ChurnSpec{Pattern: "flashcrowd", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) == 0 {
+		t.Fatal("no events")
+	}
+	for i := 1; i < len(sched.Events); i++ {
+		if sched.Events[i].At < sched.Events[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	for _, e := range sched.Events {
+		if !strings.Contains(e.Instance, "/s") {
+			t.Fatalf("instance %q not in the scenario namespace", e.Instance)
+		}
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	if _, err := Materialize(ChurnSpec{Pattern: "bogus"}); err == nil {
+		t.Fatal("bad pattern must error")
+	}
+	if _, err := Materialize(ChurnSpec{Pattern: "diurnal", Pool: "NoSuchApp"}); err == nil {
+		t.Fatal("bad pool must error")
+	}
+	if _, err := Materialize(ChurnSpec{Pattern: "diurnal", TickUsec: -1}); err == nil {
+		t.Fatal("negative tick must error")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"busaware/internal/faults"
 	"busaware/internal/machine"
+	"busaware/internal/scenario"
 	"busaware/internal/sched"
 	"busaware/internal/sim"
 	"busaware/internal/timeline"
@@ -49,6 +50,14 @@ type Request struct {
 	// every run regardless — this flag only controls whether the
 	// windows ride back on the response body.
 	Timeline bool `json:"timeline,omitempty"`
+	// Scenario optionally layers deterministic workload churn over the
+	// base apps (see internal/scenario): a load pattern in the compact
+	// DSL ("flashcrowd", "step:10s@4; spike:10s@4..60", ...), a
+	// profile pool, a seed and a tick. The spec is canonicalized into
+	// the cache key — a preset and its expansion, or equivalent pool
+	// spellings, cache identically. Absent means the classic fixed
+	// mix.
+	Scenario *scenario.ChurnSpec `json:"scenario,omitempty"`
 }
 
 // compiled is a validated, normalized request, ready to run: every
@@ -113,15 +122,27 @@ func compile(req Request) (*compiled, error) {
 			return nil, err
 		}
 	}
+	var churn *scenario.Schedule
+	scnKey := "-"
+	if req.Scenario != nil {
+		churn, err = scenario.Materialize(*req.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		// The materialized spec is canonical (pattern rendered, pool
+		// run-length encoded, tick defaulted), so equivalent spellings
+		// collide in the cache and on the gateway ring.
+		scnKey = churn.Spec.Canonical()
+	}
 	s, err := newScheduler(policy, m, seed)
 	if err != nil {
 		return nil, err
 	}
 	return &compiled{
-		Key: fmt.Sprintf("v1|policy=%s|seed=%d|cpus=%d|maxt=%d|trace=%t|tl=%t|faults=%s|apps=%s",
+		Key: fmt.Sprintf("v1|policy=%s|seed=%d|cpus=%d|maxt=%d|trace=%t|tl=%t|faults=%s|scn=%s|apps=%s",
 			policy, seed, m.NumCPUs, int64(maxTime), req.Trace, req.Timeline,
-			faultKey(fcfg), workload.CanonicalSpec(apps)),
-		Config:    sim.Config{Machine: m, MaxTime: maxTime, Faults: fcfg},
+			faultKey(fcfg), scnKey, workload.CanonicalSpec(apps)),
+		Config:    sim.Config{Machine: m, MaxTime: maxTime, Faults: fcfg, Scenario: churn},
 		Scheduler: s,
 		NewScheduler: func() (sched.Scheduler, error) {
 			return newScheduler(policy, m, seed)
@@ -193,8 +214,11 @@ func faultKey(c faults.Config) string {
 // simulated microseconds (int64) rather than formatted strings, so
 // responses are exact and trivially machine-diffable.
 type AppResult struct {
-	Instance       string  `json:"instance"`
-	Profile        string  `json:"profile"`
+	Instance string `json:"instance"`
+	Profile  string `json:"profile"`
+	// ArrivedUsec is omitted when zero, so classic fixed-mix responses
+	// (and their cached bytes) are unchanged by scenario support.
+	ArrivedUsec    int64   `json:"arrived_usec,omitempty"`
 	TurnaroundUsec int64   `json:"turnaround_usec"`
 	SoloUsec       int64   `json:"solo_usec"`
 	Slowdown       float64 `json:"slowdown"`
@@ -209,16 +233,21 @@ type AppResult struct {
 // which is what lets the server cache whole response bodies and promise
 // byte-identical replays.
 type Response struct {
-	Scheduler          string          `json:"scheduler"`
-	Apps               []AppResult     `json:"apps"`
-	EndTimeUsec        int64           `json:"end_time_usec"`
-	Quanta             int             `json:"quanta"`
-	Migrations         int             `json:"migrations"`
-	ContextSwitches    int             `json:"context_switches"`
-	MeanBusUtilization float64         `json:"mean_bus_utilization"`
-	MeanTurnaroundUsec int64           `json:"mean_turnaround_usec"`
-	TimedOut           bool            `json:"timed_out,omitempty"`
-	FaultsInjected     uint64          `json:"faults_injected,omitempty"`
+	Scheduler          string      `json:"scheduler"`
+	Apps               []AppResult `json:"apps"`
+	EndTimeUsec        int64       `json:"end_time_usec"`
+	Quanta             int         `json:"quanta"`
+	Migrations         int         `json:"migrations"`
+	ContextSwitches    int         `json:"context_switches"`
+	MeanBusUtilization float64     `json:"mean_bus_utilization"`
+	MeanTurnaroundUsec int64       `json:"mean_turnaround_usec"`
+	TimedOut           bool        `json:"timed_out,omitempty"`
+	FaultsInjected     uint64      `json:"faults_injected,omitempty"`
+	// Scenario churn totals; all omitted for classic fixed-mix runs so
+	// pre-scenario response bytes are unchanged.
+	ScenarioArrivals   int             `json:"scenario_arrivals,omitempty"`
+	ScenarioDepartures int             `json:"scenario_departures,omitempty"`
+	ScenarioCompleted  int             `json:"scenario_completed,omitempty"`
 	TraceEvents        json.RawMessage `json:"trace_events,omitempty"`
 	// Timeline carries the run's per-window telemetry when the request
 	// set "timeline": true.
@@ -265,11 +294,15 @@ func NewResponse(res sim.Result, tl *trace.Timeline, col *timeline.Collector) (*
 		MeanTurnaroundUsec: int64(res.MeanTurnaround()),
 		TimedOut:           res.TimedOut,
 		FaultsInjected:     res.FaultStats.Total(),
+		ScenarioArrivals:   res.ScenarioArrivals,
+		ScenarioDepartures: res.ScenarioDepartures,
+		ScenarioCompleted:  res.ScenarioCompleted,
 	}
 	for _, a := range res.Apps {
 		resp.Apps = append(resp.Apps, AppResult{
 			Instance:       a.Instance,
 			Profile:        a.Profile,
+			ArrivedUsec:    int64(a.Arrived),
 			TurnaroundUsec: int64(a.Turnaround),
 			SoloUsec:       int64(a.SoloTime),
 			Slowdown:       a.Slowdown,

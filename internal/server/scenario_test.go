@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"busaware/internal/scenario"
+)
+
+func TestScenarioKeyCanonicalization(t *testing.T) {
+	// A preset and its expansion, and equivalent pool spellings, must
+	// collide on the cache key; a different churn seed must not.
+	base := Request{Apps: smallSpec}
+	preset := base
+	preset.Scenario = &scenario.ChurnSpec{Pattern: "flashcrowd", Pool: "CG, CG"}
+	expanded := base
+	expanded.Scenario = &scenario.ChurnSpec{
+		Pattern:  "step:10s@4 spike:10s@4..60; step:20s@4",
+		Pool:     "CG x2",
+		TickUsec: int64(scenario.DefaultTick),
+	}
+	k1, err := CanonicalKey(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CanonicalKey(expanded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("equivalent scenario spellings key differently:\n%s\n%s", k1, k2)
+	}
+	if !strings.Contains(k1, "|scn=pat=step:10s@4; spike:10s@4..60; step:20s@4|") {
+		t.Errorf("key does not embed the canonical pattern: %s", k1)
+	}
+	seeded := preset
+	seeded.Scenario = &scenario.ChurnSpec{Pattern: "flashcrowd", Pool: "CG x2", Seed: 3}
+	k3, err := CanonicalKey(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Error("different churn seeds share a key")
+	}
+	// No scenario keys as "-", distinct from any real scenario.
+	k0, err := CanonicalKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k0, "|scn=-|") {
+		t.Errorf("scenario-free key = %s, want scn=-", k0)
+	}
+	if k0 == k1 {
+		t.Error("scenario and scenario-free requests share a key")
+	}
+}
+
+func TestScenarioRequestEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	// Short churn over the standard small workload: two Volrend
+	// instances arrive at t=0 (simulated) and depart at 2s, well
+	// before CG completes.
+	req := `{"apps":"` + smallSpec + `","scenario":{"pattern":"step:2s@2; step:2s@0","pool":"Volrend","seed":5}}`
+	resp, body := post(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var decoded Response
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ScenarioArrivals != 2 || decoded.ScenarioDepartures != 2 {
+		t.Errorf("scenario counters = %d/%d, want 2 arrivals / 2 departures",
+			decoded.ScenarioArrivals, decoded.ScenarioDepartures)
+	}
+
+	// Same scenario again: must be a byte-identical cache replay.
+	resp2, body2 := post(t, ts.URL, req)
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat X-Cache = %q, want hit", got)
+	}
+	if string(body) != string(body2) {
+		t.Error("cached scenario body diverged")
+	}
+
+	// Malformed pattern: a 400, not a 500.
+	respBad, bodyBad := post(t, ts.URL, `{"apps":"CG","scenario":{"pattern":"warp:1s@1"}}`)
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad pattern status = %d, body %s", respBad.StatusCode, bodyBad)
+	}
+}
+
+func TestScenarioFreeResponseBytesUnchanged(t *testing.T) {
+	// The serialized response of a classic run must not grow any
+	// scenario or arrival fields — cached bodies from before this
+	// feature must replay byte-identically.
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := post(t, ts.URL, `{"apps":"CG, BBMA"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for _, field := range []string{"scenario_arrivals", "scenario_departures", "scenario_completed", "arrived_usec"} {
+		if strings.Contains(string(body), field) {
+			t.Errorf("scenario-free response leaks %q: %s", field, body)
+		}
+	}
+}

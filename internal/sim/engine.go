@@ -597,6 +597,11 @@ func diffResults(q, e Result) []string {
 	if q.FaultStats != e.FaultStats {
 		add("fault stats: %+v vs %+v", q.FaultStats, e.FaultStats)
 	}
+	if q.ScenarioArrivals != e.ScenarioArrivals || q.ScenarioDepartures != e.ScenarioDepartures || q.ScenarioCompleted != e.ScenarioCompleted {
+		add("scenario counters: %d/%d/%d vs %d/%d/%d",
+			q.ScenarioArrivals, q.ScenarioDepartures, q.ScenarioCompleted,
+			e.ScenarioArrivals, e.ScenarioDepartures, e.ScenarioCompleted)
+	}
 	if len(q.Apps) != len(e.Apps) {
 		add("app count: %d vs %d", len(q.Apps), len(e.Apps))
 		return d
@@ -605,6 +610,9 @@ func diffResults(q, e Result) []string {
 		a, b := q.Apps[i], e.Apps[i]
 		if a.Instance != b.Instance || a.Profile != b.Profile {
 			add("app[%d]: identity %s/%s vs %s/%s", i, a.Instance, a.Profile, b.Instance, b.Profile)
+		}
+		if a.Arrived != b.Arrived {
+			add("app[%d] %s: arrived %d vs %d", i, a.Instance, a.Arrived, b.Arrived)
 		}
 		if a.Turnaround != b.Turnaround {
 			add("app[%d] %s: turnaround %d vs %d", i, a.Instance, a.Turnaround, b.Turnaround)

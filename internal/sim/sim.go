@@ -18,6 +18,7 @@ import (
 	"busaware/internal/faults"
 	"busaware/internal/machine"
 	"busaware/internal/perfctr"
+	"busaware/internal/scenario"
 	"busaware/internal/sched"
 	"busaware/internal/timeline"
 	"busaware/internal/trace"
@@ -77,6 +78,19 @@ type Config struct {
 	// Run returns normally; when nil, any divergence is returned as an
 	// error.
 	ShadowDiffs *[]string
+	// Scenario, when non-nil, layers workload churn over the base
+	// apps: the schedule's events submit fresh application instances
+	// mid-run (through the same pending-admission path timed arrivals
+	// use) and retire them again, youngest-first, as the pattern
+	// recedes. The run still ends when the base workload's finite
+	// applications complete; scenario instances that completed
+	// naturally by then are reported in Result.Apps (with their
+	// arrival time), ones retired by a departure or still running are
+	// only counted. The event engine steps, never leaps, while any
+	// scenario event is outstanding — churn is "unstable" — and
+	// resumes leaping once the schedule drains. A nil Scenario is
+	// byte-identical to a build without scenario support.
+	Scenario *scenario.Schedule
 }
 
 // SampleMode selects the bandwidth estimator fed to the policies.
@@ -105,7 +119,13 @@ const DefaultMaxTime = 30 * 60 * units.Second
 type AppResult struct {
 	Instance string
 	Profile  string
-	// Turnaround is completion minus arrival (all apps arrive at 0).
+	// Arrived is when the application entered the system. Zero for the
+	// classic fixed-mix workloads; scenario churn and timed arrivals
+	// set it.
+	Arrived units.Time
+	// Turnaround is completion minus arrival — wall time spent in the
+	// system, not completion time, so a late arrival is not charged
+	// for the quanta before it existed.
 	Turnaround units.Time
 	// SoloTime is the profile's uncontended execution time.
 	SoloTime units.Time
@@ -143,6 +163,13 @@ type Result struct {
 	// FaultStats counts the faults injected into the run (zero when
 	// Config.Faults is disabled).
 	FaultStats faults.Stats
+	// Scenario churn totals, all zero when Config.Scenario is nil:
+	// instances admitted mid-run, instances retired by a departure
+	// event before completing, and instances that completed naturally
+	// (these also appear in Apps).
+	ScenarioArrivals   int
+	ScenarioDepartures int
+	ScenarioCompleted  int
 }
 
 // MeanTurnaround returns the arithmetic mean turnaround of the finite
@@ -178,6 +205,12 @@ type appState struct {
 	demandCum  float64
 	present    bool
 	lost       bool
+
+	// scenario marks an instance materialized from Config.Scenario —
+	// it never counts toward the base workload's completion condition.
+	// departed is set when a departure event retires it mid-run.
+	scenario bool
+	departed bool
 }
 
 // Run executes apps under s until every finite application completes.
@@ -272,6 +305,9 @@ func run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		return Result{}, fmt.Errorf("sim: scheduler %s has non-positive quantum", s.Name())
 	}
 
+	// remaining counts only the base workload: the run ends when it
+	// completes, whatever the scenario is still churning. Counted
+	// before scenario states are appended.
 	remaining := 0
 	for _, st := range states {
 		if !st.app.Profile.Endless() {
@@ -280,6 +316,55 @@ func run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 	}
 	if remaining == 0 {
 		return Result{}, errors.New("sim: workload has no finite applications")
+	}
+
+	// Materialize scenario churn: every arrival becomes a pending
+	// appState admitted through the same path as timed arrivals (so a
+	// t=0 churn event and an Arrived app are indistinguishable to the
+	// scheduler); departures queue up for the loop to pop in time
+	// order. The schedule is read-only — shadow mode runs both cores
+	// against the same one.
+	var depEvents []scenario.Event
+	depIdx := 0
+	byInstance := map[string]*appState{}
+	if cfg.Scenario != nil {
+		for _, ev := range cfg.Scenario.Events {
+			if ev.At < 0 {
+				return Result{}, fmt.Errorf("sim: scenario event %s at negative time", ev.Instance)
+			}
+			switch ev.Kind {
+			case scenario.EventArrive:
+				p, ok := workload.ByName(ev.Profile)
+				if !ok {
+					return Result{}, fmt.Errorf("sim: scenario profile %q unknown", ev.Profile)
+				}
+				app := workload.NewApp(p, ev.Instance)
+				app.Arrived = ev.At
+				st := &appState{app: app, job: sched.NewJob(app, windowLen, ewmaAlpha), scenario: true}
+				for _, th := range app.Threads {
+					mon := perfctr.NewMonitor(&th.Counters)
+					mon.Poll(m.Now())
+					if inj != nil {
+						mon.SetFaultHook(inj)
+					}
+					st.monitors = append(st.monitors, mon)
+				}
+				states = append(states, st)
+				byApp[app] = st
+				byInstance[ev.Instance] = st
+				pending = append(pending, st)
+			case scenario.EventDepart:
+				if byInstance[ev.Instance] == nil {
+					return Result{}, fmt.Errorf("sim: scenario departure of unknown instance %q", ev.Instance)
+				}
+				depEvents = append(depEvents, ev)
+			}
+		}
+		for i := 1; i < len(depEvents); i++ {
+			if depEvents[i].At < depEvents[i-1].At {
+				return Result{}, errors.New("sim: scenario events out of order")
+			}
+		}
 	}
 
 	// The event engine may leap only when fault injection is off: every
@@ -310,11 +395,32 @@ func run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 			if st.app.Arrived <= m.Now() {
 				s.Add(st.job)
 				connected++
+				if st.scenario {
+					res.ScenarioArrivals++
+				}
 			} else {
 				kept = append(kept, st)
 			}
 		}
 		pending = kept
+		// Pop due scenario departures. Admission ran first, so a
+		// departing instance is either connected (remove it) or already
+		// completed on its own (a no-op — natural completion wins).
+		// Departures of completed instances are not counted, which
+		// keeps both engines' counters identical even when leapIdle has
+		// jumped the clock past a no-op departure's exact quantum.
+		for depIdx < len(depEvents) && depEvents[depIdx].At <= m.Now() {
+			st := byInstance[depEvents[depIdx].Instance]
+			depIdx++
+			if st.departed || st.app.IsMarkedCompleted() {
+				continue
+			}
+			s.Remove(st.job)
+			connected--
+			st.departed = true
+			st.app.MarkDeparted(m.Now())
+			res.ScenarioDepartures++
+		}
 		placements := s.Schedule(m.Now(), m)
 		if len(placements) > 0 && (inj.CrashEnabled() || inj.SignalLossEnabled()) {
 			// Control-channel faults, decided per application in input
@@ -484,7 +590,12 @@ func run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		// already accounted) and before retirement (a leap ends at or
 		// before any completion, which the block below then handles).
 		if leapable {
-			if len(placements) > 0 && len(pending) == 0 && cfg.ManagerOverhead <= 0 && cfg.Trace == nil {
+			// Churn gating: a pending arrival or an outstanding departure
+			// event means the mix is still unstable — a leap could carry
+			// the machine past the event. Keep stepping; once the
+			// scenario schedule drains (depIdx catches up and pending
+			// empties) leaps resume for the settled mix.
+			if len(placements) > 0 && len(pending) == 0 && depIdx == len(depEvents) && cfg.ManagerOverhead <= 0 && cfg.Trace == nil {
 				ls.tryLeap(&cfg, s, m, quantum, placements, states, byApp, finite, connected, admitted, &res, &utilSum)
 			} else if len(placements) == 0 && connected == 0 && len(pending) > 0 {
 				if err := leapIdle(&cfg, m, quantum, states, pending, &res); err != nil {
@@ -493,13 +604,18 @@ func run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 			}
 		}
 
-		// Retire finished applications.
+		// Retire finished applications. Departed instances are out of
+		// the scheduler already and frozen, so they never re-retire.
 		for _, st := range states {
-			if !st.app.Profile.Endless() && st.app.Done() && !st.app.IsMarkedCompleted() {
+			if !st.app.Profile.Endless() && !st.departed && st.app.Done() && !st.app.IsMarkedCompleted() {
 				st.app.MarkCompleted(m.Now())
 				s.Remove(st.job)
 				connected--
-				remaining--
+				if st.scenario {
+					res.ScenarioCompleted++
+				} else {
+					remaining--
+				}
 			}
 		}
 	}
@@ -516,9 +632,16 @@ func run(cfg Config, s sched.Scheduler, apps []*workload.App) (Result, error) {
 		if st.app.Profile.Endless() {
 			continue
 		}
+		// Scenario instances are reported only if they completed
+		// naturally: a departed or still-running instance has no
+		// turnaround and would deflate the headline mean.
+		if st.scenario && !st.app.IsMarkedCompleted() {
+			continue
+		}
 		ar := AppResult{
 			Instance:     st.app.Instance,
 			Profile:      st.app.Profile.Name,
+			Arrived:      st.app.Arrived,
 			Turnaround:   st.app.Turnaround(),
 			SoloTime:     st.app.Profile.SoloTime,
 			RunTime:      st.runTime,
