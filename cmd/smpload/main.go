@@ -124,6 +124,11 @@ type result struct {
 	mixIdx  int
 	match   bool // body matched the entry's reference (200s only)
 	hit     bool // served from a response cache (200s only)
+	// storeHit narrows hit: the backend answered from its persistent
+	// store tier (X-Cache hit-t2/hit-t3) rather than memory — the
+	// signal a warm restart or a warm ring join actually replayed
+	// instead of recomputing.
+	storeHit bool
 	// badDigest marks a response whose X-Content-Digest (or sweep line
 	// digest) did not match the bytes received — corruption in flight
 	// that every upstream integrity check missed.
@@ -157,9 +162,14 @@ type Summary struct {
 	// Shed is the 429 count, broken out since backpressure is expected
 	// behaviour under overload, not failure.
 	Shed int `json:"shed"`
-	// CacheHits counts 200s the server marked as cache-served (the
-	// X-Cache header, or the sweep line's cache field).
+	// CacheHits counts 200s the server marked as cache-served (any
+	// hit-prefixed X-Cache value, or the sweep line's cache field).
 	CacheHits int `json:"cache_hits"`
+	// StoreHits is the subset of CacheHits served from a persistent
+	// store tier (hit-t2 local disk, hit-t3 shared) — nonzero after a
+	// warm restart or warm ring join, zero when every hit came from
+	// memory.
+	StoreHits int `json:"store_hits"`
 	// LatencyMs covers successful (200) requests only.
 	LatencyMs Percentiles `json:"latency_ms"`
 	Mix       []string    `json:"mix"`
@@ -415,7 +425,9 @@ func issue(httpc *http.Client, addr string, e *mixEntry, mixIdx int, variant int
 	r := result{code: resp.StatusCode, latency: lat, done: t0.Add(lat), mixIdx: mixIdx, match: true}
 	if resp.StatusCode == http.StatusOK {
 		r.match = e.check(variant, body)
-		r.hit = resp.Header.Get("X-Cache") == "hit"
+		cache := resp.Header.Get("X-Cache")
+		r.hit = strings.HasPrefix(cache, "hit")
+		r.storeHit = cache == "hit-t2" || cache == "hit-t3"
 		r.badDigest = !digest.Verify(resp.Header.Get(digest.Header), body)
 	}
 	return r
@@ -509,7 +521,8 @@ func issueSweep(httpc *http.Client, addr string, entries []*mixEntry, spread int
 		r.badDigest = !digest.VerifyLine(line.Digest, line.Status, line.Index, line.Response)
 		if line.Status == http.StatusOK {
 			r.match = ref.e.check(ref.variant, line.Response)
-			r.hit = line.Cache == "hit"
+			r.hit = strings.HasPrefix(line.Cache, "hit")
+			r.storeHit = line.Cache == "hit-t2" || line.Cache == "hit-t3"
 		}
 		results[lo+line.Index] = r
 	}
@@ -545,6 +558,9 @@ func summarize(results []result, entries []*mixEntry, clients int, elapsed time.
 			}
 			if r.hit {
 				s.CacheHits++
+			}
+			if r.storeHit {
+				s.StoreHits++
 			}
 		}
 	}

@@ -6,9 +6,16 @@
 // per-quantum windows as NDJSON while the run executes), /healthz,
 // Prometheus /metrics and graceful drain on SIGTERM/SIGINT.
 //
+// With -store-dir the response cache gains a persistent tier: every
+// computed body is also written to a content-addressed on-disk store
+// (crash-safe, verified on read), so a restarted daemon replays its
+// whole warm set instead of recomputing it. -store-shared-dir adds a
+// fleet-wide tier all backends populate together.
+//
 // Usage:
 //
-//	smpsimd -addr :8080 -workers 4 -queue 64 -cache 256
+//	smpsimd -addr :8080 -workers 4 -queue 64 -cache 256 \
+//	  -store-dir /var/lib/smpsimd/store -store-max-bytes 1073741824
 //
 //	curl -s localhost:8080/v1/simulate \
 //	  -d '{"apps":"CG x2, BBMA x4","policy":"window"}'
@@ -29,6 +36,7 @@ import (
 	"busaware/internal/runner"
 	"busaware/internal/server"
 	"busaware/internal/sim"
+	"busaware/internal/store"
 )
 
 func main() {
@@ -43,11 +51,24 @@ func main() {
 	tlQuanta := flag.Int("timeline-window", 0, "telemetry window span in quanta (0 = 64); smaller spans stream /v1/timeline windows sooner")
 	tlWindows := flag.Int("timeline-windows", 0, "per-run retained window ring size (0 = 256); older windows fold into the run summary")
 	engineName := flag.String("engine", "", "simulation engine: quantum (stepped reference, default), event (leaps constant stretches), shadow (runs both, fails on divergence)")
+	storeDir := flag.String("store-dir", "", "persistent result store directory (tier 2; empty = memory-only caching)")
+	storeShared := flag.String("store-shared-dir", "", "shared result store directory all backends populate (tier 3)")
+	storeMax := flag.Int64("store-max-bytes", 0, "tier-2 store size bound in bytes, LRU-evicted (0 = unbounded)")
 	flag.Parse()
 
 	engine, err := sim.ParseEngine(*engineName)
 	if err != nil {
 		fatal(err)
+	}
+
+	var st *store.Store
+	if *storeDir != "" || *storeShared != "" {
+		st, err = store.Open(store.Config{Dir: *storeDir, SharedDir: *storeShared, MaxBytes: *storeMax})
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("smpsimd: store open (dir=%q shared=%q max-bytes=%d entries=%d)",
+			*storeDir, *storeShared, *storeMax, st.Stats().Disk.Entries)
 	}
 
 	s := server.New(server.Config{
@@ -60,6 +81,7 @@ func main() {
 		TimelineQuanta:  *tlQuanta,
 		TimelineWindows: *tlWindows,
 		Engine:          engine,
+		Store:           st,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 

@@ -1,0 +1,245 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"busaware/internal/server"
+	"busaware/internal/store"
+)
+
+// storeBackend is one smpsimd stack with a persistent store: its own
+// tier-2 directory plus the given shared tier-3 directory.
+func storeBackend(t *testing.T, shared string) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: t.TempDir(), SharedDir: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{Workers: 2, Store: st})
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// backendCompleted reads how many cells a backend actually computed,
+// via its public healthz.
+func backendCompleted(t *testing.T, url string) int64 {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Completed int64 `json:"completed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Completed
+}
+
+// adminPost drives POST /admin/backends.
+func adminPost(t *testing.T, gwURL, op, backend string) (*http.Response, []byte) {
+	t.Helper()
+	return post(t, gwURL, "/admin/backends",
+		fmt.Sprintf(`{"op":%q,"backend":%q}`, op, backend))
+}
+
+// TestElasticRingWarmJoin is the elastic-ring contract end to end: a
+// backend added at runtime inherits shard keys and serves them warm
+// from the shared store tier instead of recomputing; removing the
+// original backend keeps the whole working set answerable; an empty
+// ring degrades to 502, not a panic.
+func TestElasticRingWarmJoin(t *testing.T) {
+	shared := t.TempDir()
+	tsA := storeBackend(t, shared)
+	gw, err := New(Config{Backends: []string{tsA.URL}, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gwts := httptest.NewServer(gw)
+	defer gwts.Close()
+
+	const cells = 16
+	bodies := make(map[int]string)
+	for seed := 1; seed <= cells; seed++ {
+		resp, body := post(t, gwts.URL, "/v1/simulate", cellBody(seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cold seed %d: %d %s", seed, resp.StatusCode, body)
+		}
+		bodies[seed] = string(body)
+	}
+
+	// A second backend joins at runtime, pointed at the same shared
+	// store. It has computed nothing.
+	tsB := storeBackend(t, shared)
+	resp, body := adminPost(t, gwts.URL, "add", tsB.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin add: %d %s", resp.StatusCode, body)
+	}
+	var membership struct {
+		Backends []struct {
+			Addr string `json:"addr"`
+		} `json:"backends"`
+	}
+	if err := json.Unmarshal(body, &membership); err != nil {
+		t.Fatal(err)
+	}
+	if len(membership.Backends) != 2 {
+		t.Fatalf("membership after add = %+v", membership)
+	}
+
+	// Replay: every cell must come back byte-identical and warm. The
+	// joiner takes ownership of some shard keys (consistent hashing)
+	// and serves them from tier 3 — zero computations.
+	hostB := strings.TrimPrefix(tsB.URL, "http://")
+	servedByB := 0
+	for seed := 1; seed <= cells; seed++ {
+		resp, body := post(t, gwts.URL, "/v1/simulate", cellBody(seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm seed %d: %d %s", seed, resp.StatusCode, body)
+		}
+		if string(body) != bodies[seed] {
+			t.Fatalf("seed %d body changed after ring growth", seed)
+		}
+		if cache := resp.Header.Get("X-Cache"); !strings.HasPrefix(cache, "hit") {
+			t.Fatalf("warm seed %d: X-Cache = %q, want a hit", seed, cache)
+		}
+		if resp.Header.Get("X-Backend") == hostB {
+			servedByB++
+		}
+	}
+	if servedByB == 0 {
+		t.Fatal("joined backend took no shard keys out of 16 cells")
+	}
+	if got := backendCompleted(t, tsB.URL); got != 0 {
+		t.Fatalf("joined backend computed %d cells, want 0 (warm join)", got)
+	}
+
+	// Remove the original backend: its keys remap onto B, which still
+	// answers everything warm from the shared tier.
+	resp, body = adminPost(t, gwts.URL, "remove", tsA.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin remove: %d %s", resp.StatusCode, body)
+	}
+	for seed := 1; seed <= cells; seed++ {
+		resp, body := post(t, gwts.URL, "/v1/simulate", cellBody(seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-remove seed %d: %d %s", seed, resp.StatusCode, body)
+		}
+		if string(body) != bodies[seed] {
+			t.Fatalf("seed %d body changed after removal", seed)
+		}
+	}
+	if got := backendCompleted(t, tsB.URL); got != 0 {
+		t.Fatalf("survivor computed %d cells after takeover, want 0", got)
+	}
+
+	// Drain the ring entirely: requests must degrade to 502 (the
+	// empty-ring owner panic regression), and healthz must not crash.
+	resp, body = adminPost(t, gwts.URL, "remove", tsB.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin remove last: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = post(t, gwts.URL, "/v1/simulate", cellBody(1))
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("empty-ring simulate = %d, want 502", resp.StatusCode)
+	}
+	if resp, _ := http.Get(gwts.URL + "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-ring healthz = %d", resp.StatusCode)
+	}
+}
+
+// TestAdminBackendsValidation covers the endpoint's refusal paths and
+// the GET listing.
+func TestAdminBackendsValidation(t *testing.T) {
+	c := newCluster(t, 2, Config{})
+	addr := c.backends[0].URL
+
+	resp, body := adminPost(t, c.gwts.URL, "add", addr)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate add = %d %s, want 409", resp.StatusCode, body)
+	}
+	resp, body = adminPost(t, c.gwts.URL, "remove", "http://127.0.0.1:1")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("remove absent = %d %s, want 409", resp.StatusCode, body)
+	}
+	resp, body = adminPost(t, c.gwts.URL, "add", "not a url")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad url = %d %s, want 400", resp.StatusCode, body)
+	}
+	resp, body = adminPost(t, c.gwts.URL, "scale", addr)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad op = %d %s, want 400", resp.StatusCode, body)
+	}
+
+	getResp, err := http.Get(c.gwts.URL + "/admin/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	var out struct {
+		Backends []struct {
+			Addr    string `json:"addr"`
+			Healthy bool   `json:"healthy"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(getResp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Backends) != 2 || !out.Backends[0].Healthy {
+		t.Fatalf("GET listing = %+v", out)
+	}
+}
+
+// TestElasticRingPreservesLocality: growing the ring must not move
+// keys between surviving backends — only keys the joiner takes leave
+// their shard, so warm caches stay warm.
+func TestElasticRingPreservesLocality(t *testing.T) {
+	c := newCluster(t, 2, Config{})
+	const cells = 24
+	owner := make(map[int]string)
+	for seed := 1; seed <= cells; seed++ {
+		resp, _ := post(t, c.gwts.URL, "/v1/simulate", cellBody(seed))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: %d", seed, resp.StatusCode)
+		}
+		owner[seed] = resp.Header.Get("X-Backend")
+	}
+
+	// Join a third (fake but healthy-looking) backend... a real one:
+	// reuse a plain server so remapped keys still answer.
+	ts := httptest.NewServer(server.New(server.Config{Workers: 2}))
+	t.Cleanup(ts.Close)
+	if resp, body := adminPost(t, c.gwts.URL, "add", ts.URL); resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin add: %d %s", resp.StatusCode, body)
+	}
+	hostNew := strings.TrimPrefix(ts.URL, "http://")
+	moved, taken := 0, 0
+	for seed := 1; seed <= cells; seed++ {
+		resp, _ := post(t, c.gwts.URL, "/v1/simulate", cellBody(seed))
+		got := resp.Header.Get("X-Backend")
+		switch {
+		case got == hostNew:
+			taken++
+		case got != owner[seed]:
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving backends on ring growth", moved)
+	}
+	if taken == 0 {
+		t.Error("joined backend took no keys — ring did not grow")
+	}
+}

@@ -129,19 +129,36 @@ type backend struct {
 	probeSkip  int
 }
 
-// Gateway shards requests across backends. Create with New, serve via
-// http.Server, Close to stop the prober.
-type Gateway struct {
-	cfg      Config
+// cluster is one immutable snapshot of the routing membership: the
+// consistent-hash ring and the backend structs it indexes, always in
+// step with each other. Readers load the current snapshot atomically;
+// membership changes build a new one under clusterMu and swap it in,
+// so every in-flight request keeps a coherent ring view while the
+// cluster resizes. Backend structs are reused across snapshots (same
+// address ⇒ same pointer), so breaker state, inflight gauges and
+// probe bookkeeping survive rebuilds and in-flight attempts against a
+// just-removed backend account correctly.
+type membership struct {
 	ring     *ring
 	backends []*backend
-	client   *http.Client
-	probec   *http.Client
-	sleep    faults.Sleeper
-	metrics  *gwMetrics
-	budget   *retryBudget
-	tracker  *latencyTracker
-	mux      *http.ServeMux
+}
+
+// Gateway shards requests across backends. Create with New, serve via
+// http.Server, Close to stop the prober. Membership is elastic:
+// AddBackend/RemoveBackend (or POST /admin/backends) resize the ring
+// at runtime.
+type Gateway struct {
+	cfg     Config
+	client  *http.Client
+	probec  *http.Client
+	sleep   faults.Sleeper
+	metrics *gwMetrics
+	budget  *retryBudget
+	tracker *latencyTracker
+	mux     *http.ServeMux
+
+	cluster   atomic.Pointer[membership]
+	clusterMu sync.Mutex // serializes membership changes
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -192,30 +209,27 @@ func New(cfg Config) (*Gateway, error) {
 		}
 	}
 	g := &Gateway{
-		cfg:      cfg,
-		ring:     newRing(cfg.Backends, cfg.Replicas),
-		backends: make([]*backend, len(cfg.Backends)),
-		client:   client,
-		probec:   &http.Client{Timeout: cfg.ProbeTimeout},
-		sleep:    cfg.Sleep,
-		metrics:  newGWMetrics(),
-		budget:   newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetFloor),
-		tracker:  &latencyTracker{},
-		mux:      http.NewServeMux(),
-		stop:     make(chan struct{}),
+		cfg:     cfg,
+		client:  client,
+		probec:  &http.Client{Timeout: cfg.ProbeTimeout},
+		sleep:   cfg.Sleep,
+		metrics: newGWMetrics(),
+		budget:  newRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetFloor),
+		tracker: &latencyTracker{},
+		mux:     http.NewServeMux(),
+		stop:    make(chan struct{}),
 	}
+	backends := make([]*backend, len(cfg.Backends))
 	for i, addr := range cfg.Backends {
-		g.backends[i] = &backend{
-			addr:    addr,
-			breaker: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
-		}
-		g.backends[i].healthy.Store(true)
+		backends[i] = g.newBackend(addr)
 	}
+	g.cluster.Store(&membership{ring: newRing(cfg.Backends, cfg.Replicas), backends: backends})
 	g.mux.HandleFunc("/v1/simulate", g.handleSimulate)
 	g.mux.HandleFunc("/v1/sweep", g.handleSweep)
 	g.mux.HandleFunc("/v1/timeline", g.handleTimeline)
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	g.mux.HandleFunc("/admin/backends", g.handleAdminBackends)
 	interval := cfg.ProbeInterval
 	if interval == 0 {
 		interval = 2 * time.Second
@@ -239,29 +253,42 @@ func (g *Gateway) Close() {
 	g.wg.Wait()
 }
 
+// newBackend builds one backend struct in its starting state (healthy
+// — optimism lets it serve before the first probe round).
+func (g *Gateway) newBackend(addr string) *backend {
+	b := &backend{
+		addr:    addr,
+		breaker: newBreaker(g.cfg.BreakerFailures, g.cfg.BreakerCooldown),
+	}
+	b.healthy.Store(true)
+	return b
+}
+
 // route returns key's backends in preference order: healthy backends
 // whose breaker is ready, then healthy-but-open-breaker ones, then
 // the ejected tail. The tail is kept so a request can still be
 // attempted when every backend looks bad (the cluster may be healthier
-// than the gateway's last look).
+// than the gateway's last look). Empty when every backend has been
+// removed from the ring.
 func (g *Gateway) route(key string) []*backend {
-	seq := g.ring.sequence(key)
+	c := g.cluster.Load()
+	seq := c.ring.sequence(key)
 	ordered := make([]*backend, 0, len(seq))
 	for _, i := range seq {
-		b := g.backends[i]
+		b := c.backends[i]
 		if b.healthy.Load() && b.breaker.Ready() {
 			ordered = append(ordered, b)
 		}
 	}
 	for _, i := range seq {
-		b := g.backends[i]
+		b := c.backends[i]
 		if b.healthy.Load() && !b.breaker.Ready() {
 			ordered = append(ordered, b)
 		}
 	}
 	for _, i := range seq {
-		if !g.backends[i].healthy.Load() {
-			ordered = append(ordered, g.backends[i])
+		if !c.backends[i].healthy.Load() {
+			ordered = append(ordered, c.backends[i])
 		}
 	}
 	return ordered
@@ -648,7 +675,7 @@ func (g *Gateway) retryAfter(resp *http.Response) time.Duration {
 // Healthy reports how many backends are currently admitted.
 func (g *Gateway) Healthy() int {
 	n := 0
-	for _, b := range g.backends {
+	for _, b := range g.cluster.Load().backends {
 		if b.healthy.Load() {
 			n++
 		}
@@ -674,7 +701,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status   string          `json:"status"`
 		Backends []backendHealth `json:"backends"`
 	}{Status: "ok"}
-	for _, b := range g.backends {
+	for _, b := range g.cluster.Load().backends {
 		out.Backends = append(out.Backends, backendHealth{
 			Addr:      b.addr,
 			Healthy:   b.healthy.Load(),
@@ -712,5 +739,5 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	g.metrics.write(w, g.backends, g.budget)
+	g.metrics.write(w, g.cluster.Load().backends, g.budget)
 }

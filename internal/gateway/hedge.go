@@ -29,6 +29,11 @@ type latencyTracker struct {
 	idx     int
 	stale   int // samples since last p99 computation
 	cached  time.Duration
+	// computed marks that cached holds a real computation. Freshness
+	// is decided by stale alone: gating on cached > 0 would treat a
+	// legitimate p99 of 0 (an all-fast-hit workload at clock
+	// granularity) as "never computed" and re-sort every request.
+	computed bool
 }
 
 // record adds one successful attempt latency.
@@ -51,7 +56,7 @@ func (t *latencyTracker) p99() time.Duration {
 	if t.n == 0 {
 		return 0
 	}
-	if t.stale < trackerRefresh && t.cached > 0 {
+	if t.computed && t.stale < trackerRefresh {
 		return t.cached
 	}
 	sorted := make([]time.Duration, t.n)
@@ -66,6 +71,7 @@ func (t *latencyTracker) p99() time.Duration {
 	}
 	t.cached = sorted[rank-1]
 	t.stale = 0
+	t.computed = true
 	return t.cached
 }
 

@@ -30,6 +30,44 @@ func TestLatencyTrackerP99(t *testing.T) {
 	}
 }
 
+// TestLatencyTrackerZeroP99Cached: a legitimate p99 of 0 (all-fast-hit
+// workload at clock granularity) must be cached like any other value —
+// the old freshness gate keyed on cached > 0 and re-sorted all 512
+// samples on every request. Freshness is observable through stale: a
+// recompute resets it to 0, a cache read leaves it alone.
+func TestLatencyTrackerZeroP99Cached(t *testing.T) {
+	tr := &latencyTracker{}
+	for i := 0; i < trackerSize; i++ {
+		tr.record(0)
+	}
+	if got := tr.p99(); got != 0 {
+		t.Fatalf("p99 of all-zero samples = %v, want 0", got)
+	}
+	// A few new samples, well under the refresh threshold: the second
+	// p99 call must serve the cached zero without recomputing.
+	for i := 0; i < trackerRefresh/2; i++ {
+		tr.record(0)
+	}
+	if got := tr.p99(); got != 0 {
+		t.Fatalf("cached p99 = %v, want 0", got)
+	}
+	tr.mu.Lock()
+	stale := tr.stale
+	tr.mu.Unlock()
+	if stale != trackerRefresh/2 {
+		t.Fatalf("stale = %d after cached read, want %d (a recompute would reset it)",
+			stale, trackerRefresh/2)
+	}
+	// And the cache must still expire: once enough nonzero samples
+	// land, the p99 moves off zero.
+	for i := 0; i < trackerSize; i++ {
+		tr.record(time.Millisecond)
+	}
+	if got := tr.p99(); got != time.Millisecond {
+		t.Fatalf("p99 after refresh = %v, want 1ms", got)
+	}
+}
+
 func TestHedgeDelayFloorAndDisable(t *testing.T) {
 	g := &Gateway{cfg: Config{HedgeDelayMin: 100 * time.Millisecond}, tracker: &latencyTracker{}}
 	if got := g.hedgeDelay(); got != 100*time.Millisecond {

@@ -34,6 +34,10 @@ type gwMetrics struct {
 	// digestMismatches counts backend responses whose body failed
 	// X-Content-Digest verification and were retried instead of served.
 	digestMismatches atomic.Uint64
+
+	// ringAdds/ringRemoves count runtime membership changes.
+	ringAdds    atomic.Uint64
+	ringRemoves atomic.Uint64
 }
 
 func newGWMetrics() *gwMetrics {
@@ -100,6 +104,14 @@ func (m *gwMetrics) write(w io.Writer, backends []*backend, budget *retryBudget)
 	fmt.Fprintln(w, "# HELP smpgw_digest_mismatch_total Backend responses rejected for failing X-Content-Digest verification.")
 	fmt.Fprintln(w, "# TYPE smpgw_digest_mismatch_total counter")
 	fmt.Fprintf(w, "smpgw_digest_mismatch_total %d\n", m.digestMismatches.Load())
+
+	fmt.Fprintln(w, "# HELP smpgw_ring_backends Backends currently on the consistent-hash ring.")
+	fmt.Fprintln(w, "# TYPE smpgw_ring_backends gauge")
+	fmt.Fprintf(w, "smpgw_ring_backends %d\n", len(backends))
+	fmt.Fprintln(w, "# HELP smpgw_ring_changes_total Runtime ring membership changes, by operation.")
+	fmt.Fprintln(w, "# TYPE smpgw_ring_changes_total counter")
+	fmt.Fprintf(w, "smpgw_ring_changes_total{op=\"add\"} %d\n", m.ringAdds.Load())
+	fmt.Fprintf(w, "smpgw_ring_changes_total{op=\"remove\"} %d\n", m.ringRemoves.Load())
 
 	fmt.Fprintln(w, "# HELP smpgw_backend_healthy Backend admitted for routing (1) or ejected (0).")
 	fmt.Fprintln(w, "# TYPE smpgw_backend_healthy gauge")

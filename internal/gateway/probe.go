@@ -69,7 +69,7 @@ func (g *Gateway) probeLoop(interval time.Duration) {
 // skipped per reprobeSkip. Exported so tests (and operators' debug
 // handlers) can force a round without waiting out the interval.
 func (g *Gateway) ProbeOnce() {
-	for _, b := range g.backends {
+	for _, b := range g.cluster.Load().backends {
 		if b.probeSkip > 0 {
 			b.probeSkip--
 			continue

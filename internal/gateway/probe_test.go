@@ -93,7 +93,7 @@ func TestProbeBackoffThundering(t *testing.T) {
 	if gw.Healthy() != 1 {
 		t.Fatal("recovered backend never re-admitted within a full backoff period")
 	}
-	b := gw.backends[0]
+	b := gw.cluster.Load().backends[0]
 	if b.probeFails != 0 || b.probeSkip != 0 {
 		t.Errorf("recovery left probeFails=%d probeSkip=%d, want 0/0", b.probeFails, b.probeSkip)
 	}

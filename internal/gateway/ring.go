@@ -99,7 +99,13 @@ func (r *ring) sequence(key string) []int {
 	return seq
 }
 
-// owner returns the backend that owns key.
-func (r *ring) owner(key string) int {
-	return r.sequence(key)[0]
+// owner returns the backend that owns key. ok is false on an empty
+// ring — with runtime removal every backend can be gone, and indexing
+// sequence's nil result would panic exactly when the ring drains.
+func (r *ring) owner(key string) (int, bool) {
+	seq := r.sequence(key)
+	if len(seq) == 0 {
+		return 0, false
+	}
+	return seq[0], true
 }

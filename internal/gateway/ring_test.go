@@ -13,6 +13,54 @@ func keys(n int) []string {
 	return out
 }
 
+// mustOwner unwraps owner for the non-empty rings these tests build.
+func mustOwner(t *testing.T, r *ring, key string) int {
+	t.Helper()
+	i, ok := r.owner(key)
+	if !ok {
+		t.Fatalf("owner(%q) on non-empty ring reported empty", key)
+	}
+	return i
+}
+
+// TestRingEmpty: an empty ring (every backend removed at runtime)
+// must answer owner/sequence gracefully, not panic — the regression
+// that motivated owner's (int, bool) signature.
+func TestRingEmpty(t *testing.T) {
+	r := newRing(nil, 64)
+	if seq := r.sequence("k"); seq != nil {
+		t.Fatalf("sequence on empty ring = %v, want nil", seq)
+	}
+	if _, ok := r.owner("k"); ok {
+		t.Fatal("owner on empty ring reported ok")
+	}
+}
+
+// TestRingAdditionLocality: adding a backend remaps only the keys the
+// newcomer takes; every other key keeps its owner — the property that
+// makes runtime ring growth a warm replay instead of a cache flush.
+func TestRingAdditionLocality(t *testing.T) {
+	before := []string{"http://a:1", "http://b:2"}
+	after := []string{"http://a:1", "http://b:2", "http://c:3"}
+	rBefore := newRing(before, 128)
+	rAfter := newRing(after, 128)
+	taken := 0
+	for _, k := range keys(500) {
+		was := before[mustOwner(t, rBefore, k)]
+		now := after[mustOwner(t, rAfter, k)]
+		if now == "http://c:3" {
+			taken++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q moved between surviving backends %s → %s on add", k, was, now)
+		}
+	}
+	if taken == 0 {
+		t.Fatal("added backend took no keys out of 500 — ring badly unbalanced")
+	}
+}
+
 // TestRingStableUnderAddressOrder: a key's owner depends on backend
 // addresses, not config order — gateway replicas and restarts must
 // route identically or shard caches churn.
@@ -22,9 +70,9 @@ func TestRingStableUnderAddressOrder(t *testing.T) {
 	r1 := newRing(addrs, 64)
 	r2 := newRing(perm, 64)
 	for _, k := range keys(200) {
-		if addrs[r1.owner(k)] != perm[r2.owner(k)] {
+		if addrs[mustOwner(t, r1, k)] != perm[mustOwner(t, r2, k)] {
 			t.Fatalf("key %q routed to %s then %s under reordering",
-				k, addrs[r1.owner(k)], perm[r2.owner(k)])
+				k, addrs[mustOwner(t, r1, k)], perm[mustOwner(t, r2, k)])
 		}
 	}
 }
@@ -38,8 +86,8 @@ func TestRingRemovalLocality(t *testing.T) {
 	rReduced := newRing(reduced, 128)
 	moved := 0
 	for _, k := range keys(500) {
-		was := full[rFull.owner(k)]
-		now := reduced[rReduced.owner(k)]
+		was := full[mustOwner(t, rFull, k)]
+		now := reduced[mustOwner(t, rReduced, k)]
 		if was == "http://c:3" {
 			moved++
 			continue // its keys must move somewhere
@@ -70,8 +118,8 @@ func TestRingSequenceCoversAllBackends(t *testing.T) {
 			}
 			seen[b] = true
 		}
-		if seq[0] != r.owner(k) {
-			t.Fatalf("sequence(%q)[0] = %d, owner = %d", k, seq[0], r.owner(k))
+		if seq[0] != mustOwner(t, r, k) {
+			t.Fatalf("sequence(%q)[0] = %d, owner = %d", k, seq[0], mustOwner(t, r, k))
 		}
 	}
 }
@@ -85,7 +133,7 @@ func TestRingBalance(t *testing.T) {
 	counts := make([]int, len(addrs))
 	const n = 3000
 	for _, k := range keys(n) {
-		counts[r.owner(k)]++
+		counts[mustOwner(t, r, k)]++
 	}
 	for i, c := range counts {
 		if c < n/10 {

@@ -330,7 +330,7 @@ func (j *sweepJob) dispatch(b *backend, orig []int, hop int, isHedge bool) {
 		defer close(watchDone)
 		var hedgec, idlec <-chan time.Time
 		if !isHedge && hop == 0 {
-			if d := j.g.hedgeDelay(); d > 0 && len(j.g.backends) > 1 {
+			if d := j.g.hedgeDelay(); d > 0 && len(j.g.cluster.Load().backends) > 1 {
 				ht := time.NewTimer(d)
 				defer ht.Stop()
 				hedgec = ht.C

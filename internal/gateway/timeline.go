@@ -72,9 +72,10 @@ func (g *Gateway) handleTimeline(w http.ResponseWriter, r *http.Request) {
 // and folds the answers. Unreachable backends contribute nothing (and
 // are reported unhealthy); one live backend suffices for a 200.
 func (g *Gateway) timelineSummary(w http.ResponseWriter, started time.Time) {
-	per := make([]BackendTimelineSummary, len(g.backends))
+	backends := g.cluster.Load().backends
+	per := make([]BackendTimelineSummary, len(backends))
 	var wg sync.WaitGroup
-	for i, b := range g.backends {
+	for i, b := range backends {
 		per[i] = BackendTimelineSummary{Addr: b.addr}
 		if !b.healthy.Load() {
 			continue
@@ -150,7 +151,7 @@ func (g *Gateway) timelineStream(w http.ResponseWriter, r *http.Request, started
 	events := make(chan server.TimelineEvent, 64)
 	var wg sync.WaitGroup
 	streams := 0
-	for _, b := range g.backends {
+	for _, b := range g.cluster.Load().backends {
 		if !b.healthy.Load() {
 			continue
 		}

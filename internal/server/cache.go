@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"bytes"
+	"sync"
+)
 
 // DefaultCacheSize bounds the response cache. A cached entry is one
 // rendered response body; the evaluation grids the daemon exists to
@@ -12,7 +15,11 @@ const DefaultCacheSize = 256
 // CacheStats is a point-in-time snapshot of the response cache.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
-	Entries                 int
+	// Conflicts counts duplicate puts whose body differed from the
+	// incumbent entry — zero by construction; any other value means
+	// the byte-identity invariant broke somewhere upstream.
+	Conflicts uint64
+	Entries   int
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -45,7 +52,7 @@ type respCache struct {
 	entries    map[string]*respEntry
 	head, tail *respEntry
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, conflicts uint64
 }
 
 func newRespCache(limit int) *respCache {
@@ -74,11 +81,18 @@ func (c *respCache) get(key string) ([]byte, bool) {
 // put inserts body under key, evicting the least recently used entry
 // once full. Concurrent misses on the same key may both put; the
 // bodies are byte-identical by construction (deterministic simulator,
-// deterministic marshalling), so the first entry is simply kept.
+// deterministic marshalling), so the first entry is kept — but that
+// assumption is checked, not trusted: now that bodies can arrive from
+// disk and shared tiers as well as local computation, a divergent
+// duplicate is counted as a conflict instead of being dropped
+// silently.
 func (c *respCache) put(key string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
+		if !bytes.Equal(e.body, body) {
+			c.conflicts++
+		}
 		c.moveToFront(e)
 		return
 	}
@@ -94,7 +108,7 @@ func (c *respCache) put(key string, body []byte) {
 func (c *respCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Conflicts: c.conflicts, Entries: len(c.entries)}
 }
 
 func (c *respCache) pushFront(e *respEntry) {

@@ -43,6 +43,24 @@ func TestRespCacheDuplicatePutKeepsFirst(t *testing.T) {
 	if s := c.stats(); s.Entries != 1 {
 		t.Errorf("entries = %d, want 1", s.Entries)
 	}
+	if s := c.stats(); s.Conflicts != 0 {
+		t.Errorf("identical duplicate counted as conflict: %d", s.Conflicts)
+	}
+}
+
+func TestRespCacheDuplicatePutCountsConflict(t *testing.T) {
+	// A divergent duplicate means the byte-identity invariant broke
+	// somewhere; the incumbent is kept but the event must be counted,
+	// not dropped silently.
+	c := newRespCache(4)
+	c.put("k", []byte("first"))
+	c.put("k", []byte("DIVERGENT"))
+	if body, ok := c.get("k"); !ok || string(body) != "first" {
+		t.Fatalf("get = %q, %v", body, ok)
+	}
+	if s := c.stats(); s.Conflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1", s.Conflicts)
+	}
 }
 
 func TestRespCacheConcurrent(t *testing.T) {

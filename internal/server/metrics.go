@@ -32,7 +32,7 @@ type metrics struct {
 	lateCached uint64
 
 	// sweepCells counts per-cell sweep outcomes by label: "hit",
-	// "miss", "error".
+	// "hit-t2", "hit-t3", "miss", "error".
 	sweepCells map[string]uint64
 
 	// deadlineShed counts work dropped because the propagated
@@ -87,7 +87,7 @@ func (m *metrics) observeDeadlineShed(stage string) {
 func (m *metrics) observeSweepCell(line SweepCellResult) {
 	outcome := "error"
 	if line.Status == 200 {
-		outcome = line.Cache // "hit" or "miss"
+		outcome = line.Cache // "hit", "hit-t2", "hit-t3" or "miss"
 	}
 	m.mu.Lock()
 	m.sweepCells[outcome]++
@@ -219,6 +219,67 @@ func (m *metrics) write(w io.Writer, srv *Server) {
 	fmt.Fprintln(w, "# HELP smpsimd_cache_hit_ratio Hits over lookups since start.")
 	fmt.Fprintln(w, "# TYPE smpsimd_cache_hit_ratio gauge")
 	fmt.Fprintf(w, "smpsimd_cache_hit_ratio %s\n", formatFloat(cs.HitRate()))
+
+	// Persistent store tiers. Tier 1 is the in-memory cache above; it
+	// appears here only for the conflict counter, which spans all
+	// tiers because the byte-identity check is one invariant.
+	ss := srv.store.Stats()
+	tiers := []struct {
+		label string
+		ts    storeTierView
+	}{
+		{"2", storeTierView{ss.Disk.Hits, ss.Disk.Misses, ss.Disk.VerifyFails, ss.Disk.Puts}},
+		{"3", storeTierView{ss.Shared.Hits, ss.Shared.Misses, ss.Shared.VerifyFails, ss.Shared.Puts}},
+	}
+	fmt.Fprintln(w, "# HELP smpsimd_store_hits_total Persistent store hits, by tier (2=local disk, 3=shared).")
+	fmt.Fprintln(w, "# TYPE smpsimd_store_hits_total counter")
+	for _, t := range tiers {
+		fmt.Fprintf(w, "smpsimd_store_hits_total{tier=%q} %d\n", t.label, t.ts.hits)
+	}
+	fmt.Fprintln(w, "# HELP smpsimd_store_misses_total Persistent store misses, by tier.")
+	fmt.Fprintln(w, "# TYPE smpsimd_store_misses_total counter")
+	for _, t := range tiers {
+		fmt.Fprintf(w, "smpsimd_store_misses_total{tier=%q} %d\n", t.label, t.ts.misses)
+	}
+	fmt.Fprintln(w, "# HELP smpsimd_store_verify_failures_total Store entries rejected on read (corrupt/truncated), by tier.")
+	fmt.Fprintln(w, "# TYPE smpsimd_store_verify_failures_total counter")
+	for _, t := range tiers {
+		fmt.Fprintf(w, "smpsimd_store_verify_failures_total{tier=%q} %d\n", t.label, t.ts.verifyFails)
+	}
+	fmt.Fprintln(w, "# HELP smpsimd_store_puts_total Bodies written to the store, by tier.")
+	fmt.Fprintln(w, "# TYPE smpsimd_store_puts_total counter")
+	for _, t := range tiers {
+		fmt.Fprintf(w, "smpsimd_store_puts_total{tier=%q} %d\n", t.label, t.ts.puts)
+	}
+	fmt.Fprintln(w, "# HELP smpsimd_store_conflict_total Duplicate puts whose body diverged from the incumbent, by tier (zero unless the byte-identity invariant broke).")
+	fmt.Fprintln(w, "# TYPE smpsimd_store_conflict_total counter")
+	fmt.Fprintf(w, "smpsimd_store_conflict_total{tier=\"1\"} %d\n", cs.Conflicts)
+	fmt.Fprintf(w, "smpsimd_store_conflict_total{tier=\"2\"} %d\n", ss.Disk.Conflicts)
+	fmt.Fprintf(w, "smpsimd_store_conflict_total{tier=\"3\"} %d\n", ss.Shared.Conflicts)
+	fmt.Fprintln(w, "# HELP smpsimd_store_evictions_total Tier-2 size-bound LRU evictions.")
+	fmt.Fprintln(w, "# TYPE smpsimd_store_evictions_total counter")
+	fmt.Fprintf(w, "smpsimd_store_evictions_total %d\n", ss.Disk.Evictions)
+	fmt.Fprintln(w, "# HELP smpsimd_store_bytes Tier-2 resident bytes on disk.")
+	fmt.Fprintln(w, "# TYPE smpsimd_store_bytes gauge")
+	fmt.Fprintf(w, "smpsimd_store_bytes %d\n", ss.Disk.Bytes)
+	fmt.Fprintln(w, "# HELP smpsimd_store_entries Tier-2 resident entries.")
+	fmt.Fprintln(w, "# TYPE smpsimd_store_entries gauge")
+	fmt.Fprintf(w, "smpsimd_store_entries %d\n", ss.Disk.Entries)
+	fmt.Fprintln(w, "# HELP smpsimd_store_hit_ratio Store hits over lookups since start, by tier.")
+	fmt.Fprintln(w, "# TYPE smpsimd_store_hit_ratio gauge")
+	for _, t := range tiers {
+		ratio := 0.0
+		if total := t.ts.hits + t.ts.misses; total > 0 {
+			ratio = float64(t.ts.hits) / float64(total)
+		}
+		fmt.Fprintf(w, "smpsimd_store_hit_ratio{tier=%q} %s\n", t.label, formatFloat(ratio))
+	}
+}
+
+// storeTierView is the slice of store.TierStats the exposition loops
+// over per tier.
+type storeTierView struct {
+	hits, misses, verifyFails, puts uint64
 }
 
 // formatFloat renders a float the Prometheus way: shortest exact

@@ -31,6 +31,7 @@ import (
 	"busaware/internal/digest"
 	"busaware/internal/runner"
 	"busaware/internal/sim"
+	"busaware/internal/store"
 	"busaware/internal/trace"
 )
 
@@ -73,6 +74,12 @@ type Config struct {
 	// fails the request on any divergence. Responses are identical
 	// under all three, so the cache key deliberately excludes it.
 	Engine sim.EngineKind
+	// Store is the persistent result store behind the in-memory cache
+	// (nil = memory only). A miss on the in-process LRU falls through
+	// to the store's disk and shared tiers before computing, and every
+	// freshly rendered body is written through to all tiers, so warm
+	// state survives restarts and is shareable across backends.
+	Store *store.Store
 }
 
 // Server handles the simulation API. Create with New, serve via
@@ -81,6 +88,7 @@ type Server struct {
 	cfg     Config
 	pool    *runner.Pool
 	cache   *respCache
+	store   *store.Store
 	metrics *metrics
 	feed    *timelineFeed
 	mux     *http.ServeMux
@@ -103,6 +111,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		pool:    runner.NewPool(cfg.Workers, cfg.QueueDepth),
 		cache:   newRespCache(cfg.CacheSize),
+		store:   cfg.Store,
 		metrics: newMetrics(),
 		feed:    newTimelineFeed(),
 		mux:     http.NewServeMux(),
@@ -128,6 +137,10 @@ func (s *Server) Close() { s.pool.Close() }
 // CacheStats exposes the response-cache counters (for healthz, tests
 // and the load driver's sanity checks).
 func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// StoreStats exposes the persistent store's per-tier counters (zero
+// when no store is configured).
+func (s *Server) StoreStats() store.Stats { return s.store.Stats() }
 
 // maxBodyBytes caps request bodies; specs are short strings, so 1 MiB
 // is generous.
@@ -187,6 +200,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Persistent tiers: a body computed before the last restart (tier
+	// 2) or by any backend in the fleet (tier 3) is verified, promoted
+	// into the memory cache, and replayed without touching the pool.
+	if body, tier, ok := s.store.Get(c.Key); ok {
+		s.cache.put(c.Key, body)
+		s.write(w, started, body, "hit-t"+tier.String())
+		return
+	}
+
 	// Admission: refuse rather than queue without bound. The client is
 	// told when to come back; smpload counts these as shed, not failed.
 	out, ok := s.submit(c, deadline)
@@ -231,9 +253,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			s.error(w, started, http.StatusInternalServerError, err.Error())
 			return
 		}
-		s.cache.put(c.Key, body)
+		s.cachePut(c.Key, body)
 		s.write(w, started, body, "miss")
 	}
+}
+
+// cachePut installs a freshly computed body in the memory cache and
+// writes it through to every persistent tier, so the computation
+// survives a restart and (with a shared tier) warms the whole fleet.
+func (s *Server) cachePut(key string, body []byte) {
+	s.cache.put(key, body)
+	s.store.Put(key, body)
 }
 
 // renderBody converts a finished cell into the exact wire bytes the
@@ -266,7 +296,7 @@ func (s *Server) salvage(c *compiled, out <-chan runner.PoolResult) {
 	if err != nil {
 		return
 	}
-	s.cache.put(c.Key, body)
+	s.cachePut(c.Key, body)
 	s.metrics.observeLateCached()
 }
 
@@ -332,24 +362,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs := s.cache.stats()
+	ss := s.store.Stats()
 	body, _ := json.Marshal(struct {
-		Status     string `json:"status"`
-		QueueDepth int    `json:"queue_depth"`
-		QueueCap   int    `json:"queue_capacity"`
-		Workers    int    `json:"workers"`
-		Busy       int    `json:"busy"`
-		Completed  int64  `json:"completed"`
-		CacheSize  int    `json:"cache_entries"`
-		CacheHits  uint64 `json:"cache_hits"`
+		Status       string `json:"status"`
+		QueueDepth   int    `json:"queue_depth"`
+		QueueCap     int    `json:"queue_capacity"`
+		Workers      int    `json:"workers"`
+		Busy         int    `json:"busy"`
+		Completed    int64  `json:"completed"`
+		CacheSize    int    `json:"cache_entries"`
+		CacheHits    uint64 `json:"cache_hits"`
+		StoreEntries int    `json:"store_entries"`
+		StoreHits    uint64 `json:"store_hits"`
 	}{
-		Status:     "ok",
-		QueueDepth: s.pool.QueueDepth(),
-		QueueCap:   s.pool.QueueCap(),
-		Workers:    s.pool.Workers(),
-		Busy:       s.pool.Busy(),
-		Completed:  s.pool.Completed(),
-		CacheSize:  cs.Entries,
-		CacheHits:  cs.Hits,
+		Status:       "ok",
+		QueueDepth:   s.pool.QueueDepth(),
+		QueueCap:     s.pool.QueueCap(),
+		Workers:      s.pool.Workers(),
+		Busy:         s.pool.Busy(),
+		Completed:    s.pool.Completed(),
+		CacheSize:    cs.Entries,
+		CacheHits:    cs.Hits,
+		StoreEntries: ss.Disk.Entries,
+		StoreHits:    ss.Disk.Hits + ss.Shared.Hits,
 	})
 	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")

@@ -174,6 +174,12 @@ cells:
 				Response: json.RawMessage(bytes.TrimSpace(body))})
 			continue
 		}
+		if body, tier, ok := s.store.Get(c.Key); ok {
+			s.cache.put(c.Key, body)
+			emit(SweepCellResult{Index: idx, Status: http.StatusOK, Cache: "hit-t" + tier.String(),
+				Response: json.RawMessage(bytes.TrimSpace(body))})
+			continue
+		}
 		p := &sweepPending{c: c, indices: []int{idx}}
 		for {
 			out, ok := s.submit(c, deadline)
@@ -184,7 +190,7 @@ cells:
 					res := <-out
 					body, err := renderBody(p.c, res)
 					if err == nil {
-						s.cache.put(p.c.Key, body)
+						s.cachePut(p.c.Key, body)
 					}
 					done <- sweepDone{p: p, body: body, err: err}
 				}(p, out)
